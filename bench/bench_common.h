@@ -1,0 +1,47 @@
+// Shared helpers for the figure-regeneration benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "circuits/synthesis.h"
+#include "experiments/cli.h"
+#include "experiments/report.h"
+#include "timing/cell_library.h"
+
+namespace oisa::bench {
+
+/// Paper CPR points (percent of the 0.3 ns sign-off period).
+inline const std::vector<double>& paperCprs() {
+  static const std::vector<double> cprs = {5.0, 10.0, 15.0};
+  return cprs;
+}
+
+/// Synthesizes the twelve paper designs with CLI-controlled options.
+/// The power-recovery (slack-relaxation) pass is ON by default — the
+/// paper's circuits were synthesized by a commercial tool that trades all
+/// positive slack for power, which is what exposes them to overclocking;
+/// pass --relax=false for raw structural timing.
+inline std::vector<circuits::SynthesizedDesign> synthesizeAll(
+    const experiments::ArgParser& args) {
+  circuits::SynthesisOptions options;
+  options.relaxSlack = args.getBool("relax", true);
+  options.relaxation.maxSlowdown =
+      args.getDouble("max-slowdown", options.relaxation.maxSlowdown);
+  return circuits::synthesizePaperDesigns(timing::CellLibrary::generic65(),
+                                          options);
+}
+
+/// Prints the table and, when --csv=<path> is given, also writes a CSV.
+inline void emit(const experiments::Table& table,
+                 const experiments::ArgParser& args) {
+  table.print(std::cout);
+  const std::string csv = args.getString("csv", "");
+  if (!csv.empty()) {
+    table.writeCsvFile(csv);
+    std::cout << "\n(csv written to " << csv << ")\n";
+  }
+}
+
+}  // namespace oisa::bench

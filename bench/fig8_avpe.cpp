@@ -1,0 +1,43 @@
+// Fig. 8: average value-level predictive error (AVPE) — the arithmetic
+// impact of timing-class mispredictions: the model's timing-class vector is
+// turned into a predicted y_silver (y_gold with the predicted flips) and
+// compared against the real overclocked output.
+//
+// Usage: fig8_avpe [--train-cycles=N] [--test-cycles=N] [--trees=T]
+//                  [--seed=S] [--relax] [--csv=path]
+#include "experiments/runner.h"
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace oisa;
+  const experiments::ArgParser args(argc, argv);
+  const auto designs = bench::synthesizeAll(args);
+
+  experiments::PredictionOptions options;
+  options.trainCycles = args.getU64("train-cycles", 6000);
+  options.testCycles = args.getU64("test-cycles", 3000);
+  options.run.seed = args.getU64("seed", 42);
+  options.predictor.forest.treeCount = args.getU64("trees", 10);
+
+  const auto rows =
+      runPredictionEvaluation(designs, bench::paperCprs(), options);
+
+  std::cout << "== Fig. 8: AVPE of the bit-level timing-error model ==\n\n";
+  experiments::Table table(
+      {"design", "0.255ns(15%)", "0.27ns(10%)", "0.285ns(5%)"});
+  for (const auto& design : designs) {
+    std::string cells[3];
+    for (const auto& row : rows) {
+      if (row.design != design.config.name()) continue;
+      const std::string value =
+          experiments::formatSci(experiments::displayFloor(row.avpe), 3);
+      if (row.cprPercent == 15.0) cells[0] = value;
+      if (row.cprPercent == 10.0) cells[1] = value;
+      if (row.cprPercent == 5.0) cells[2] = value;
+    }
+    table.addRow({design.config.name(), cells[0], cells[1], cells[2]});
+  }
+  bench::emit(table, args);
+  return 0;
+}

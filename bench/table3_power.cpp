@@ -1,0 +1,62 @@
+// Table III (extension): area / delay / power / energy characterization —
+// the paper's energy-efficiency motivation quantified. Dynamic power comes
+// from real switching activity in the event-driven simulator; leakage from
+// cell areas. Savings are reported against the exact adder.
+//
+// Usage: table3_power [--cycles=N] [--seed=S] [--csv=path]
+#include <random>
+
+#include "timing/power.h"
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace oisa;
+  const experiments::ArgParser args(argc, argv);
+  const std::uint64_t cycles = args.getU64("cycles", 400);
+  const std::uint64_t seed = args.getU64("seed", 42);
+
+  const auto lib = timing::CellLibrary::generic65();
+  const auto power = timing::PowerLibrary::generic65();
+
+  std::mt19937_64 rng(seed);
+  std::vector<std::vector<std::uint8_t>> stimuli;
+  stimuli.reserve(cycles + 1);
+  for (std::uint64_t i = 0; i <= cycles; ++i) {
+    stimuli.push_back(circuits::packOperands(rng(), rng(), false, 32));
+  }
+
+  std::cout << "== Table III: area / delay / power at 0.3 ns, " << cycles
+            << " random cycles ==\n\n";
+  experiments::Table table({"design", "area[NAND2]", "critical[ns]",
+                            "dyn[uW]", "leak[uW]", "total[uW]",
+                            "energy/op[fJ]", "vs exact[%]"});
+
+  // Exact first, as the baseline.
+  double exactEnergy = 0.0;
+  std::vector<std::pair<circuits::SynthesizedDesign, timing::PowerReport>>
+      results;
+  for (const auto& cfg : core::paperDesigns()) {
+    auto design = circuits::synthesize(cfg, lib, circuits::SynthesisOptions{});
+    const auto report =
+        measurePower(design.netlist, design.delays, power, 0.3, stimuli);
+    if (cfg.exact) exactEnergy = report.energyPerOpFj;
+    results.emplace_back(std::move(design), report);
+  }
+  for (const auto& [design, report] : results) {
+    const double savings =
+        exactEnergy > 0.0
+            ? (1.0 - report.energyPerOpFj / exactEnergy) * 100.0
+            : 0.0;
+    table.addRow({design.config.name(),
+                  experiments::formatFixed(design.areaNand2, 0),
+                  experiments::formatFixed(design.criticalDelayNs, 4),
+                  experiments::formatFixed(report.dynamicPowerUw, 1),
+                  experiments::formatFixed(report.leakagePowerUw, 2),
+                  experiments::formatFixed(report.totalPowerUw, 1),
+                  experiments::formatFixed(report.energyPerOpFj, 1),
+                  experiments::formatFixed(savings, 1)});
+  }
+  bench::emit(table, args);
+  return 0;
+}

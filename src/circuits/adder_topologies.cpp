@@ -1,0 +1,378 @@
+#include "circuits/adder_topologies.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace oisa::circuits {
+
+using netlist::GateKind;
+using netlist::Netlist;
+using netlist::NetId;
+
+std::string_view topologyName(AdderTopology t) noexcept {
+  switch (t) {
+    case AdderTopology::RippleCarry: return "ripple-carry";
+    case AdderTopology::CarrySelect: return "carry-select";
+    case AdderTopology::CarryLookahead: return "carry-lookahead";
+    case AdderTopology::BrentKung: return "brent-kung";
+    case AdderTopology::Sklansky: return "sklansky";
+    case AdderTopology::KoggeStone: return "kogge-stone";
+    case AdderTopology::HanCarlson: return "han-carlson";
+  }
+  return "?";
+}
+
+std::span<const AdderTopology> allTopologies() noexcept {
+  static constexpr std::array<AdderTopology, 7> kAll = {
+      AdderTopology::RippleCarry,    AdderTopology::CarrySelect,
+      AdderTopology::CarryLookahead, AdderTopology::BrentKung,
+      AdderTopology::Sklansky,       AdderTopology::HanCarlson,
+      AdderTopology::KoggeStone};
+  return kAll;
+}
+
+std::span<const AdderTopology> selectionTopologies() noexcept {
+  static constexpr std::array<AdderTopology, 6> kSelectable = {
+      AdderTopology::RippleCarry, AdderTopology::CarryLookahead,
+      AdderTopology::BrentKung,   AdderTopology::Sklansky,
+      AdderTopology::HanCarlson,  AdderTopology::KoggeStone};
+  return kSelectable;
+}
+
+NetId andTree(Netlist& nl, std::span<const NetId> nets) {
+  if (nets.empty()) throw std::invalid_argument("andTree: empty input");
+  std::vector<NetId> level(nets.begin(), nets.end());
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    while (i < level.size()) {
+      const std::size_t left = level.size() - i;
+      if (left == 3 || (left > 3 && left % 2 == 1)) {
+        next.push_back(nl.gate3(GateKind::And3, level[i], level[i + 1],
+                                level[i + 2]));
+        i += 3;
+      } else if (left >= 2) {
+        next.push_back(nl.gate2(GateKind::And2, level[i], level[i + 1]));
+        i += 2;
+      } else {
+        next.push_back(level[i]);
+        i += 1;
+      }
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+NetId orTree(Netlist& nl, std::span<const NetId> nets) {
+  if (nets.empty()) throw std::invalid_argument("orTree: empty input");
+  std::vector<NetId> level(nets.begin(), nets.end());
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    while (i < level.size()) {
+      const std::size_t left = level.size() - i;
+      if (left == 3 || (left > 3 && left % 2 == 1)) {
+        next.push_back(
+            nl.gate3(GateKind::Or3, level[i], level[i + 1], level[i + 2]));
+        i += 3;
+      } else if (left >= 2) {
+        next.push_back(nl.gate2(GateKind::Or2, level[i], level[i + 1]));
+        i += 2;
+      } else {
+        next.push_back(level[i]);
+        i += 1;
+      }
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+namespace {
+
+/// Per-bit propagate (XOR, reusable for the sum) and generate signals.
+struct PgBits {
+  std::vector<NetId> p;
+  std::vector<NetId> g;
+};
+
+PgBits makePg(Netlist& nl, std::span<const NetId> a,
+              std::span<const NetId> b) {
+  PgBits pg;
+  pg.p.reserve(a.size());
+  pg.g.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    pg.p.push_back(nl.gate2(GateKind::Xor2, a[i], b[i]));
+    pg.g.push_back(nl.gate2(GateKind::And2, a[i], b[i]));
+  }
+  return pg;
+}
+
+/// s_i = p_i ^ carryIn_i ; carry-in may be absent (bit 0 of a cin-less adder).
+NetId makeSumBit(Netlist& nl, NetId p, std::optional<NetId> carry) {
+  if (!carry) return nl.gate1(GateKind::Buf, p);
+  return nl.gate2(GateKind::Xor2, p, *carry);
+}
+
+AdderPorts buildRipple(Netlist& nl, std::span<const NetId> a,
+                       std::span<const NetId> b,
+                       std::optional<NetId> carryIn) {
+  AdderPorts ports;
+  std::optional<NetId> carry = carryIn;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId p = nl.gate2(GateKind::Xor2, a[i], b[i]);
+    ports.sum.push_back(makeSumBit(nl, p, carry));
+    if (carry) {
+      carry = nl.gate3(GateKind::Maj3, a[i], b[i], *carry);
+    } else {
+      carry = nl.gate2(GateKind::And2, a[i], b[i]);
+    }
+  }
+  ports.carryOut = *carry;
+  return ports;
+}
+
+/// Carry = g_{hi} | p_hi&g_{hi-1} | ... | p_hi&..&p_lo&cin, built two-level
+/// (OR-tree of AND-trees) for a group of up to 4 bits.
+NetId lookaheadCarry(Netlist& nl, std::span<const NetId> p,
+                     std::span<const NetId> g, std::optional<NetId> cin) {
+  std::vector<NetId> terms;
+  const std::size_t n = p.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    // term: g_j AND p_{j+1} AND ... AND p_{n-1}
+    std::vector<NetId> factors{g[j]};
+    for (std::size_t k = j + 1; k < n; ++k) factors.push_back(p[k]);
+    terms.push_back(andTree(nl, factors));
+  }
+  if (cin) {
+    std::vector<NetId> factors{*cin};
+    for (std::size_t k = 0; k < n; ++k) factors.push_back(p[k]);
+    terms.push_back(andTree(nl, factors));
+  }
+  return orTree(nl, terms);
+}
+
+// Classic CLA: per-group generate/propagate are computed in parallel
+// (independent of the carry-in), only the group carry ripples — two gates
+// per group — and in-group carries are a two-level look-ahead from the
+// (late) group carry-in.
+AdderPorts buildCla(Netlist& nl, std::span<const NetId> a,
+                    std::span<const NetId> b, std::optional<NetId> carryIn) {
+  constexpr std::size_t kGroup = 4;
+  const PgBits pg = makePg(nl, a, b);
+  AdderPorts ports;
+  std::optional<NetId> groupCin = carryIn;
+  for (std::size_t base = 0; base < a.size(); base += kGroup) {
+    const std::size_t n = std::min(kGroup, a.size() - base);
+    const std::span<const NetId> p(pg.p.data() + base, n);
+    const std::span<const NetId> g(pg.g.data() + base, n);
+    // In-group carries from the group carry-in.
+    for (std::size_t j = 0; j < n; ++j) {
+      std::optional<NetId> carry = groupCin;
+      if (j > 0) {
+        carry = lookaheadCarry(nl, p.first(j), g.first(j), groupCin);
+      }
+      ports.sum.push_back(makeSumBit(nl, p[j], carry));
+    }
+    // Group carry-out: G* | P* & cin, with G*/P* cin-independent.
+    const NetId groupGen = lookaheadCarry(nl, p, g, std::nullopt);
+    if (groupCin) {
+      const NetId groupProp = andTree(nl, p);
+      groupCin = nl.gate2(GateKind::Or2, groupGen,
+                          nl.gate2(GateKind::And2, groupProp, *groupCin));
+    } else {
+      groupCin = groupGen;
+    }
+  }
+  ports.carryOut = *groupCin;
+  return ports;
+}
+
+// Carry-select: each group is computed twice (carry-in 0 and carry-in 1)
+// with cheap ripple chains; the actual group carry only drives the final
+// per-bit muxes and the two-gate-deep carry chain between groups.
+AdderPorts buildCarrySelect(Netlist& nl, std::span<const NetId> a,
+                            std::span<const NetId> b,
+                            std::optional<NetId> carryIn) {
+  constexpr std::size_t kGroup = 4;
+  AdderPorts ports;
+  std::optional<NetId> groupCin = carryIn;
+  for (std::size_t base = 0; base < a.size(); base += kGroup) {
+    const std::size_t n = std::min(kGroup, a.size() - base);
+    const std::span<const NetId> ag(a.data() + base, n);
+    const std::span<const NetId> bg(b.data() + base, n);
+    if (base == 0 && !groupCin) {
+      // First group with no carry-in: a single ripple chain suffices.
+      AdderPorts first = buildRipple(nl, ag, bg, std::nullopt);
+      ports.sum = std::move(first.sum);
+      groupCin = first.carryOut;
+      continue;
+    }
+    // Variant with group carry-in = 0.
+    AdderPorts zero = buildRipple(nl, ag, bg, std::nullopt);
+    // Variant with group carry-in = 1 (first cell folded: s = xnor,
+    // carry = a | b; the rest is a plain full-adder chain).
+    std::vector<NetId> oneSum;
+    oneSum.push_back(nl.gate2(GateKind::Xnor2, ag[0], bg[0]));
+    NetId oneCarry = nl.gate2(GateKind::Or2, ag[0], bg[0]);
+    for (std::size_t j = 1; j < n; ++j) {
+      const NetId p = nl.gate2(GateKind::Xor2, ag[j], bg[j]);
+      oneSum.push_back(nl.gate2(GateKind::Xor2, p, oneCarry));
+      oneCarry = nl.gate3(GateKind::Maj3, ag[j], bg[j], oneCarry);
+    }
+    // Select by the actual carry into the group.
+    for (std::size_t j = 0; j < n; ++j) {
+      ports.sum.push_back(
+          nl.gate3(GateKind::Mux2, zero.sum[j], oneSum[j], *groupCin));
+    }
+    groupCin =
+        nl.gate3(GateKind::Mux2, zero.carryOut, oneCarry, *groupCin);
+  }
+  ports.carryOut = *groupCin;
+  return ports;
+}
+
+/// Parallel-prefix combine: (G,P) o (G',P') = (G | P&G', P&P').
+struct PrefixNode {
+  NetId g;
+  NetId p;
+};
+
+PrefixNode combine(Netlist& nl, const PrefixNode& hi, const PrefixNode& lo) {
+  PrefixNode out;
+  out.g = nl.gate2(GateKind::Or2, hi.g,
+                   nl.gate2(GateKind::And2, hi.p, lo.g));
+  out.p = nl.gate2(GateKind::And2, hi.p, lo.p);
+  return out;
+}
+
+AdderPorts prefixSums(Netlist& nl, const PgBits& pg,
+                      const std::vector<PrefixNode>& prefix,
+                      std::optional<NetId> carryIn) {
+  // prefix[j] spans bits [0..j]; carry into bit j+1 = G_j | P_j & cin.
+  const std::size_t n = pg.p.size();
+  AdderPorts ports;
+  auto carryInto = [&](std::size_t j) -> NetId {  // carry into bit j, j >= 1
+    const PrefixNode& pre = prefix[j - 1];
+    if (!carryIn) return pre.g;
+    return nl.gate2(GateKind::Or2, pre.g,
+                    nl.gate2(GateKind::And2, pre.p, *carryIn));
+  };
+  ports.sum.push_back(makeSumBit(nl, pg.p[0], carryIn));
+  for (std::size_t j = 1; j < n; ++j) {
+    ports.sum.push_back(nl.gate2(GateKind::Xor2, pg.p[j], carryInto(j)));
+  }
+  ports.carryOut = carryInto(n);
+  return ports;
+}
+
+AdderPorts buildSklansky(Netlist& nl, std::span<const NetId> a,
+                         std::span<const NetId> b,
+                         std::optional<NetId> carryIn) {
+  const PgBits pg = makePg(nl, a, b);
+  const std::size_t n = a.size();
+  std::vector<PrefixNode> nodes(n);
+  for (std::size_t j = 0; j < n; ++j) nodes[j] = {pg.g[j], pg.p[j]};
+  for (std::size_t d = 1; d < n; d <<= 1) {
+    std::vector<PrefixNode> next = nodes;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j & d) {
+        const std::size_t anchor = (j & ~(2 * d - 1)) + d - 1;
+        next[j] = combine(nl, nodes[j], nodes[anchor]);
+      }
+    }
+    nodes = std::move(next);
+  }
+  return prefixSums(nl, pg, nodes, carryIn);
+}
+
+AdderPorts buildKoggeStone(Netlist& nl, std::span<const NetId> a,
+                           std::span<const NetId> b,
+                           std::optional<NetId> carryIn) {
+  const PgBits pg = makePg(nl, a, b);
+  const std::size_t n = a.size();
+  std::vector<PrefixNode> nodes(n);
+  for (std::size_t j = 0; j < n; ++j) nodes[j] = {pg.g[j], pg.p[j]};
+  for (std::size_t d = 1; d < n; d <<= 1) {
+    std::vector<PrefixNode> next = nodes;
+    for (std::size_t j = d; j < n; ++j) {
+      next[j] = combine(nl, nodes[j], nodes[j - d]);
+    }
+    nodes = std::move(next);
+  }
+  return prefixSums(nl, pg, nodes, carryIn);
+}
+
+// Brent-Kung: up-sweep builds power-of-two prefixes, down-sweep fills the
+// rest — 2*log2(n) depth with the fewest prefix nodes of any tree here.
+AdderPorts buildBrentKung(Netlist& nl, std::span<const NetId> a,
+                          std::span<const NetId> b,
+                          std::optional<NetId> carryIn) {
+  const PgBits pg = makePg(nl, a, b);
+  const std::size_t n = a.size();
+  std::vector<PrefixNode> nodes(n);
+  for (std::size_t j = 0; j < n; ++j) nodes[j] = {pg.g[j], pg.p[j]};
+  std::size_t top = 1;
+  for (std::size_t d = 1; d < n; d <<= 1) {
+    for (std::size_t j = 2 * d - 1; j < n; j += 2 * d) {
+      nodes[j] = combine(nl, nodes[j], nodes[j - d]);
+    }
+    top = d;
+  }
+  for (std::size_t d = top; d >= 2; d >>= 1) {
+    for (std::size_t j = d + d / 2 - 1; j < n; j += d) {
+      nodes[j] = combine(nl, nodes[j], nodes[j - d / 2]);
+    }
+  }
+  return prefixSums(nl, pg, nodes, carryIn);
+}
+
+// Han-Carlson: Kogge-Stone over the odd positions, one initial and one
+// final fix-up level — half the wiring of Kogge-Stone at +1 level depth.
+AdderPorts buildHanCarlson(Netlist& nl, std::span<const NetId> a,
+                           std::span<const NetId> b,
+                           std::optional<NetId> carryIn) {
+  const PgBits pg = makePg(nl, a, b);
+  const std::size_t n = a.size();
+  std::vector<PrefixNode> nodes(n);
+  for (std::size_t j = 0; j < n; ++j) nodes[j] = {pg.g[j], pg.p[j]};
+  for (std::size_t j = 1; j < n; j += 2) {
+    nodes[j] = combine(nl, nodes[j], nodes[j - 1]);
+  }
+  for (std::size_t d = 2; d < n; d <<= 1) {
+    std::vector<PrefixNode> next = nodes;
+    for (std::size_t j = d + 1; j < n; j += 2) {
+      next[j] = combine(nl, nodes[j], nodes[j - d]);
+    }
+    nodes = std::move(next);
+  }
+  for (std::size_t j = 2; j < n; j += 2) {
+    nodes[j] = combine(nl, nodes[j], nodes[j - 1]);
+  }
+  return prefixSums(nl, pg, nodes, carryIn);
+}
+
+}  // namespace
+
+AdderPorts buildAdder(Netlist& nl, std::span<const NetId> a,
+                      std::span<const NetId> b,
+                      std::optional<NetId> carryIn, AdderTopology topology) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("buildAdder: operand spans must match");
+  }
+  switch (topology) {
+    case AdderTopology::RippleCarry: return buildRipple(nl, a, b, carryIn);
+    case AdderTopology::CarrySelect:
+      return buildCarrySelect(nl, a, b, carryIn);
+    case AdderTopology::CarryLookahead: return buildCla(nl, a, b, carryIn);
+    case AdderTopology::BrentKung: return buildBrentKung(nl, a, b, carryIn);
+    case AdderTopology::Sklansky: return buildSklansky(nl, a, b, carryIn);
+    case AdderTopology::KoggeStone: return buildKoggeStone(nl, a, b, carryIn);
+    case AdderTopology::HanCarlson:
+      return buildHanCarlson(nl, a, b, carryIn);
+  }
+  throw std::invalid_argument("buildAdder: unknown topology");
+}
+
+}  // namespace oisa::circuits

@@ -1,0 +1,106 @@
+#include "circuits/compensation.h"
+
+#include <stdexcept>
+
+#include "circuits/adder_topologies.h"
+
+namespace oisa::circuits {
+
+using netlist::GateKind;
+using netlist::Netlist;
+using netlist::NetId;
+
+// Timing-aware structure: the previous path's carry-out is the last-arriving
+// input of a COMP block, so everything is precomputed from early signals
+// (the speculated carry and the local sum LSBs) for both carry polarities,
+// and a single MUX2 selected by the late carry picks the outcome. This
+// keeps the COMP contribution to the critical path at ~2 cells, which is
+// what lets compensated ISA designs sign off at the same 0.3 ns constraint
+// as their uncompensated siblings (paper Sec. II-B: "minimal impact on the
+// critical path").
+CompensationPorts buildCompensation(Netlist& nl, NetId spec, NetId coutPrev,
+                                    std::span<const NetId> localSum,
+                                    std::span<const NetId> prevTop,
+                                    int correction) {
+  if (correction < 0 ||
+      static_cast<std::size_t>(correction) > localSum.size()) {
+    throw std::invalid_argument("buildCompensation: bad correction size");
+  }
+  const auto c = static_cast<std::size_t>(correction);
+
+  CompensationPorts ports;
+  ports.fault = nl.gate2(GateKind::Xor2, spec, coutPrev);
+  ports.correctedSum.assign(localSum.begin(), localSum.end());
+
+  const NetId invSpec = nl.gate1(GateKind::Inv, spec);
+
+  // Balancing conditions for each carry polarity, from early signals only:
+  //   carry = 1 (missed if spec == 0): force prev MSBs up when correction
+  //     is impossible (low C bits all ones);
+  //   carry = 0 (spurious if spec == 1): force prev MSBs down when the low
+  //     C bits cannot absorb a decrement (all zeros).
+  NetId upIfCarry = invSpec;
+  NetId downIfNoCarry = spec;
+
+  if (c > 0) {
+    const NetId andLow = andTree(nl, localSum.first(c));
+    const NetId orLow = orTree(nl, localSum.first(c));
+    const NetId invAndLow = nl.gate1(GateKind::Inv, andLow);
+    const NetId invOrLow = nl.gate1(GateKind::Inv, orLow);
+
+    // Per-bit flip terms for both polarities. Bit j of the increment flips
+    // when bits 0..j-1 are all ones; of the decrement when all zeros.
+    NetId prefixOnes{};   // AND of localSum[0..j-1]
+    NetId prefixZeros{};  // AND of ~localSum[0..j-1]
+    for (std::size_t j = 0; j < c; ++j) {
+      NetId incFlip;  // flip if carry == 1 (missed, correctable, ripple)
+      NetId decFlip;  // flip if carry == 0 (spurious, correctable, borrow)
+      if (j == 0) {
+        incFlip = nl.gate2(GateKind::And2, invSpec, invAndLow);
+        decFlip = nl.gate2(GateKind::And2, spec, orLow);
+      } else {
+        incFlip = nl.gate3(GateKind::And3, invSpec, invAndLow, prefixOnes);
+        decFlip = nl.gate3(GateKind::And3, spec, orLow, prefixZeros);
+      }
+      // Both corrected-bit candidates are ready before the carry arrives;
+      // a single MUX on the late carry resolves the bit.
+      const NetId ifCarry = nl.gate2(GateKind::Xor2, localSum[j], incFlip);
+      const NetId ifNoCarry = nl.gate2(GateKind::Xor2, localSum[j], decFlip);
+      ports.correctedSum[j] =
+          nl.gate3(GateKind::Mux2, ifNoCarry, ifCarry, coutPrev);
+
+      if (j + 1 < c) {
+        const NetId invBit = nl.gate1(GateKind::Inv, localSum[j]);
+        prefixOnes = j == 0 ? localSum[j]
+                            : nl.gate2(GateKind::And2, prefixOnes,
+                                       localSum[j]);
+        prefixZeros = j == 0 ? invBit
+                             : nl.gate2(GateKind::And2, prefixZeros, invBit);
+      }
+    }
+    const NetId corrIfCarry = nl.gate2(GateKind::And2, invSpec, invAndLow);
+    const NetId corrIfNoCarry = nl.gate2(GateKind::And2, spec, orLow);
+    ports.corrected =
+        nl.gate3(GateKind::Mux2, corrIfNoCarry, corrIfCarry, coutPrev);
+
+    upIfCarry = nl.gate2(GateKind::And2, invSpec, andLow);
+    downIfNoCarry = nl.gate2(GateKind::And2, spec, invOrLow);
+  } else {
+    ports.corrected = nl.constant(false);
+  }
+
+  if (!prevTop.empty()) {
+    const NetId keep = nl.gate1(GateKind::Inv, downIfNoCarry);
+    ports.balancedPrevTop.reserve(prevTop.size());
+    for (const NetId bit : prevTop) {
+      // carry = 1 branch: bit | upIfCarry; carry = 0 branch: bit & ~down.
+      const NetId up = nl.gate2(GateKind::Or2, bit, upIfCarry);
+      const NetId down = nl.gate2(GateKind::And2, bit, keep);
+      ports.balancedPrevTop.push_back(
+          nl.gate3(GateKind::Mux2, down, up, coutPrev));
+    }
+  }
+  return ports;
+}
+
+}  // namespace oisa::circuits

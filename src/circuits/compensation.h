@@ -1,0 +1,44 @@
+// oisa_circuits: the ISA COMP (error compensation) block.
+//
+// Detects a speculation fault by comparing the speculated carry with the
+// carry-out of the preceding sub-adder, then:
+//  * correction — conditionally increments/decrements the C LSBs of the
+//    local sum (guarded against overflowing the C-bit group), and
+//  * error reduction / balancing — when correction is impossible, forces
+//    the R MSBs of the *preceding* sum towards the carry direction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace oisa::circuits {
+
+/// Nets produced by one COMP block.
+struct CompensationPorts {
+  /// This path's local sum after the conditional +-1 correction (same size
+  /// as the input local sum).
+  std::vector<netlist::NetId> correctedSum;
+  /// The preceding path's top R bits after balancing (same order as the
+  /// `prevTop` input; empty when R == 0).
+  std::vector<netlist::NetId> balancedPrevTop;
+  /// Diagnostic nets (also used by tests).
+  netlist::NetId fault;      ///< speculated carry != previous carry-out
+  netlist::NetId corrected;  ///< a +-1 correction was applied
+};
+
+/// Builds a COMP block.
+///
+/// `spec`      — this path's speculated carry,
+/// `coutPrev`  — carry-out of the preceding sub-adder,
+/// `localSum`  — this path's K sum bits (LSB first), pre-compensation,
+/// `prevTop`   — the R most significant bits of the preceding sum
+///               (LSB-of-the-group first); may be empty (R == 0),
+/// `correction`— C, number of correctable LSBs (0 disables correction).
+[[nodiscard]] CompensationPorts buildCompensation(
+    netlist::Netlist& nl, netlist::NetId spec, netlist::NetId coutPrev,
+    std::span<const netlist::NetId> localSum,
+    std::span<const netlist::NetId> prevTop, int correction);
+
+}  // namespace oisa::circuits

@@ -1,0 +1,31 @@
+// oisa_circuits: gate-level ISA-based array multiplier.
+//
+// WxW -> 2W array multiplier: an AND-grid of partial products accumulated
+// row by row through 2W-bit ISA adder cores (buildIsaCore). Bit-identical
+// to core::IsaMultiplier (cross-checked in tests).
+//
+// Port convention: inputs a0..a{W-1}, b0..b{W-1}; outputs p0..p{2W-1}.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "circuits/isa_netlist.h"
+#include "core/isa_multiplier.h"
+
+namespace oisa::circuits {
+
+/// Builds the gate-level array multiplier for `cfg`.
+[[nodiscard]] netlist::Netlist buildMultiplierNetlist(
+    const core::MultiplierConfig& cfg, const IsaBuildOptions& options = {});
+
+/// Packs multiplier operands into the primary-input vector.
+[[nodiscard]] std::vector<std::uint8_t> packMultiplierOperands(
+    std::uint64_t a, std::uint64_t b, int width);
+
+/// Extracts the 2W-bit product from the primary-output vector.
+[[nodiscard]] std::uint64_t unpackProduct(
+    std::span<const std::uint8_t> outputs, int width);
+
+}  // namespace oisa::circuits

@@ -1,0 +1,57 @@
+#include "circuits/speculator.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace oisa::circuits {
+
+using netlist::GateKind;
+using netlist::Netlist;
+using netlist::NetId;
+
+namespace {
+
+struct GroupPg {
+  NetId g;
+  NetId p;
+};
+
+/// Recursive half-split group generate/propagate over window bits [lo, hi).
+GroupPg groupPg(Netlist& nl, std::span<const NetId> g,
+                std::span<const NetId> p, std::size_t lo, std::size_t hi) {
+  if (hi - lo == 1) return {g[lo], p[lo]};
+  const std::size_t mid = lo + (hi - lo) / 2;
+  const GroupPg low = groupPg(nl, g, p, lo, mid);
+  const GroupPg high = groupPg(nl, g, p, mid, hi);
+  GroupPg out;
+  out.g = nl.gate2(GateKind::Or2, high.g,
+                   nl.gate2(GateKind::And2, high.p, low.g));
+  out.p = nl.gate2(GateKind::And2, high.p, low.p);
+  return out;
+}
+
+}  // namespace
+
+NetId buildSpeculator(Netlist& nl, std::span<const NetId> a,
+                      std::span<const NetId> b, bool assumeCarryIn) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("buildSpeculator: bad window");
+  }
+  // Only generate/propagate matter; OR-propagate is sufficient (and
+  // cheaper than XOR) for carry derivation: with a|b propagation, the
+  // group "generate" already absorbs generate-under-propagate cases, and
+  // G | P covers the assumed-carry polarity exactly.
+  std::vector<NetId> g, p;
+  g.reserve(a.size());
+  p.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    g.push_back(nl.gate2(GateKind::And2, a[i], b[i]));
+    p.push_back(nl.gate2(GateKind::Or2, a[i], b[i]));
+  }
+  const GroupPg window = groupPg(nl, g, p, 0, g.size());
+  if (!assumeCarryIn) return window.g;
+  // Carry-in speculated at 1: carry unless the window kills it.
+  return nl.gate2(GateKind::Or2, window.g, window.p);
+}
+
+}  // namespace oisa::circuits

@@ -1,0 +1,24 @@
+// oisa_circuits: the ISA carry SPEC block.
+//
+// Speculates the carry entering a path from the S operand bits preceding it,
+// with the window carry-in speculated at 0: the speculated carry is the
+// window's group-generate signal, built as a logarithmic-depth
+// generate/propagate tree (the "carry look-ahead approach" of the paper).
+#pragma once
+
+#include <span>
+
+#include "netlist/netlist.h"
+
+namespace oisa::circuits {
+
+/// Builds the speculated carry from window operand bits `a`,`b` (LSB first,
+/// both of size S >= 1). `assumeCarryIn` selects the speculation polarity:
+/// false speculates the window carry-in at 0 (the carry is the window's
+/// group generate), true at 1 (generate OR full propagate). Returns the
+/// speculated carry net.
+[[nodiscard]] netlist::NetId buildSpeculator(
+    netlist::Netlist& nl, std::span<const netlist::NetId> a,
+    std::span<const netlist::NetId> b, bool assumeCarryIn = false);
+
+}  // namespace oisa::circuits

@@ -1,0 +1,75 @@
+#include "circuits/synthesis.h"
+
+#include "timing/sta.h"
+
+namespace oisa::circuits {
+
+namespace {
+
+SynthesizedDesign elaborate(const core::IsaConfig& cfg,
+                            const timing::CellLibrary& lib,
+                            AdderTopology topology) {
+  IsaBuildOptions build;
+  build.subAdderTopology = topology;
+  netlist::Netlist nl = buildIsaNetlist(cfg, build);
+  timing::DelayAnnotation delays(nl, lib);
+  const double critical = timing::criticalDelayNs(nl, delays);
+  const double area = timing::totalArea(nl, lib);
+  return SynthesizedDesign{cfg,      std::move(nl), std::move(delays),
+                           topology, critical,      area};
+}
+
+}  // namespace
+
+SynthesizedDesign synthesize(const core::IsaConfig& cfg,
+                             const timing::CellLibrary& lib,
+                             const SynthesisOptions& options) {
+  SynthesizedDesign best = [&] {
+    if (options.forcedTopology) {
+      return elaborate(cfg, lib, *options.forcedTopology);
+    }
+    // Constraint-driven selection: cheapest topology meeting the target
+    // with the selection guardband; failing that, cheapest meeting the raw
+    // target; failing that, the fastest available.
+    const double margined =
+        options.targetPeriodNs * (1.0 - options.selectionMargin);
+    std::optional<SynthesizedDesign> meetsRaw;
+    std::optional<SynthesizedDesign> fastest;
+    for (AdderTopology topo : selectionTopologies()) {
+      SynthesizedDesign candidate = elaborate(cfg, lib, topo);
+      if (candidate.criticalDelayNs <= margined) {
+        return candidate;
+      }
+      if (!meetsRaw && candidate.criticalDelayNs <= options.targetPeriodNs) {
+        meetsRaw = std::move(candidate);
+      } else if (!fastest ||
+                 candidate.criticalDelayNs < fastest->criticalDelayNs) {
+        fastest = std::move(candidate);
+      }
+    }
+    if (meetsRaw) return std::move(*meetsRaw);
+    return std::move(*fastest);
+  }();
+
+  if (options.relaxSlack) {
+    timing::RelaxationOptions relax = options.relaxation;
+    relax.targetPeriodNs = options.targetPeriodNs;
+    (void)timing::relaxSlack(best.netlist, best.delays, relax);
+    best.criticalDelayNs =
+        timing::criticalDelayNs(best.netlist, best.delays);
+  }
+  best.meetsTiming = best.criticalDelayNs <= options.targetPeriodNs;
+  return best;
+}
+
+std::vector<SynthesizedDesign> synthesizePaperDesigns(
+    const timing::CellLibrary& lib, const SynthesisOptions& options) {
+  std::vector<SynthesizedDesign> designs;
+  designs.reserve(core::paperDesigns().size());
+  for (const core::IsaConfig& cfg : core::paperDesigns()) {
+    designs.push_back(synthesize(cfg, lib, options));
+  }
+  return designs;
+}
+
+}  // namespace oisa::circuits

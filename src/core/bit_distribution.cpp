@@ -1,0 +1,43 @@
+#include "core/bit_distribution.h"
+
+#include <bit>
+#include <numeric>
+#include <stdexcept>
+
+namespace oisa::core {
+
+BitErrorDistribution::BitErrorDistribution(int width) : width_(width) {
+  if (width < 1 || width > 64) {
+    throw std::invalid_argument("BitErrorDistribution: width must be 1..64");
+  }
+  flips_.assign(static_cast<std::size_t>(width), 0);
+}
+
+void BitErrorDistribution::add(std::uint64_t observed,
+                               std::uint64_t reference) noexcept {
+  ++cycles_;
+  std::uint64_t diff = observed ^ reference;
+  if (width_ < 64) diff &= (std::uint64_t{1} << width_) - 1;
+  while (diff != 0) {
+    const int pos = std::countr_zero(diff);
+    ++flips_[static_cast<std::size_t>(pos)];
+    diff &= diff - 1;
+  }
+}
+
+double BitErrorDistribution::rate(int position) const {
+  const auto f = flips_.at(static_cast<std::size_t>(position));
+  return cycles_ ? static_cast<double>(f) / static_cast<double>(cycles_) : 0.0;
+}
+
+std::vector<double> BitErrorDistribution::rates() const {
+  std::vector<double> r(static_cast<std::size_t>(width_));
+  for (int i = 0; i < width_; ++i) r[static_cast<std::size_t>(i)] = rate(i);
+  return r;
+}
+
+std::uint64_t BitErrorDistribution::totalFlips() const noexcept {
+  return std::accumulate(flips_.begin(), flips_.end(), std::uint64_t{0});
+}
+
+}  // namespace oisa::core

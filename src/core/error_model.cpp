@@ -1,0 +1,47 @@
+#include "core/error_model.h"
+
+namespace oisa::core {
+
+ErrorSample decomposeErrors(const OutputTriple& t) noexcept {
+  ErrorSample s;
+  s.eStruct = static_cast<std::int64_t>(t.gold) -
+              static_cast<std::int64_t>(t.diamond);
+  s.eTiming = static_cast<std::int64_t>(t.silver) -
+              static_cast<std::int64_t>(t.gold);
+  s.eJoint = s.eStruct + s.eTiming;
+  if (t.diamond != 0) {
+    const double d = static_cast<double>(t.diamond);
+    s.reStruct = static_cast<double>(s.eStruct) / d;
+    s.reTiming = static_cast<double>(s.eTiming) / d;
+    s.reJoint = static_cast<double>(s.eJoint) / d;
+  }
+  return s;
+}
+
+void ErrorCombination::add(const OutputTriple& t) noexcept {
+  const ErrorSample s = decomposeErrors(t);
+  ++cycles_;
+  eStruct_.add(static_cast<double>(s.eStruct));
+  eTiming_.add(static_cast<double>(s.eTiming));
+  eJoint_.add(static_cast<double>(s.eJoint));
+  if (s.reStruct) {
+    reStruct_.add(*s.reStruct);
+    reTiming_.add(*s.reTiming);
+    reJoint_.add(*s.reJoint);
+  } else {
+    ++skipped_;
+  }
+}
+
+void ErrorCombination::merge(const ErrorCombination& o) noexcept {
+  eStruct_.merge(o.eStruct_);
+  eTiming_.merge(o.eTiming_);
+  eJoint_.merge(o.eJoint_);
+  reStruct_.merge(o.reStruct_);
+  reTiming_.merge(o.reTiming_);
+  reJoint_.merge(o.reJoint_);
+  skipped_ += o.skipped_;
+  cycles_ += o.cycles_;
+}
+
+}  // namespace oisa::core

@@ -1,0 +1,171 @@
+#include "core/isa_adder.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace oisa::core {
+
+namespace {
+/// Low-n-bit mask, safe for n in [0, 64].
+[[nodiscard]] constexpr std::uint64_t maskBits(int n) noexcept {
+  if (n <= 0) return 0;
+  if (n >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << n) - 1;
+}
+}  // namespace
+
+IsaAdder::IsaAdder(const IsaConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  mask_ = maskBits(cfg_.width);
+  blockMask_ = cfg_.exact ? mask_ : maskBits(cfg_.block);
+}
+
+IsaSum IsaAdder::exactAdd(std::uint64_t a, std::uint64_t b,
+                          bool carryIn) const {
+  a &= mask_;
+  b &= mask_;
+  // Split the top bit off so width-64 carry-out is computable without
+  // 65-bit arithmetic.
+  const std::uint64_t low = (a & (mask_ >> 1)) + (b & (mask_ >> 1)) +
+                            (carryIn ? 1u : 0u);
+  const int top = cfg_.width - 1;
+  const std::uint64_t topSum = ((a >> top) & 1u) + ((b >> top) & 1u) +
+                               ((low >> top) & 1u);
+  IsaSum r;
+  r.sum = ((low & maskBits(top)) | ((topSum & 1u) << top)) & mask_;
+  r.carryOut = (topSum >> 1) != 0;
+  return r;
+}
+
+IsaSum IsaAdder::add(std::uint64_t a, std::uint64_t b, bool carryIn) const {
+  std::vector<PathTrace> traces;
+  return addTraced(a, b, carryIn, traces);
+}
+
+IsaSum IsaAdder::addTraced(std::uint64_t a, std::uint64_t b, bool carryIn,
+                           std::vector<PathTrace>& traces) const {
+  a &= mask_;
+  b &= mask_;
+  if (cfg_.exact) {
+    traces.assign(1, PathTrace{});
+    return exactAdd(a, b, carryIn);
+  }
+  const int k = cfg_.block;
+  const int paths = cfg_.pathCount();
+  const int s = cfg_.spec;
+  const int c = cfg_.correction;
+  const int r = cfg_.reduction;
+  const std::uint64_t topRMask = maskBits(r) << (k - r);
+
+  traces.assign(static_cast<std::size_t>(paths), PathTrace{});
+  std::vector<std::uint64_t> sums(static_cast<std::size_t>(paths), 0);
+  std::vector<bool> couts(static_cast<std::size_t>(paths), false);
+  std::vector<bool> specs(static_cast<std::size_t>(paths), false);
+
+  // Stage 1: concurrent speculative paths (SPEC + ADD).
+  for (int i = 0; i < paths; ++i) {
+    const int base = i * k;
+    const std::uint64_t ai = (a >> base) & blockMask_;
+    const std::uint64_t bi = (b >> base) & blockMask_;
+    bool spec = false;
+    if (i == 0) {
+      spec = carryIn;  // the first path uses the exact adder carry-in
+    } else if (s > 0) {
+      // Carry look-ahead over the S bits preceding this path, with the
+      // window carry-in speculated at 0 (or 1 for the dual polarity): the
+      // speculated carry is the carry-out of the S-bit window addition.
+      const std::uint64_t aw = (a >> (base - s)) & maskBits(s);
+      const std::uint64_t bw = (b >> (base - s)) & maskBits(s);
+      const std::uint64_t win = aw + bw + (cfg_.speculateHigh ? 1u : 0u);
+      spec = ((win >> s) & 1u) != 0;
+    } else {
+      spec = cfg_.speculateHigh;  // S == 0: constant speculation
+    }
+    const std::uint64_t raw = ai + bi + (spec ? 1u : 0u);
+    sums[static_cast<std::size_t>(i)] = raw & blockMask_;
+    couts[static_cast<std::size_t>(i)] = ((raw >> k) & 1u) != 0;
+    specs[static_cast<std::size_t>(i)] = spec;
+    traces[static_cast<std::size_t>(i)].specCarry = spec;
+    traces[static_cast<std::size_t>(i)].rawSum = raw & blockMask_;
+  }
+
+  // Stage 2: COMP blocks. Each path compares its speculated carry against
+  // the carry-out of the preceding sub-adder, then corrects its own LSBs or
+  // balances the preceding sum's MSBs.
+  for (int i = 1; i < paths; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const bool cPrev = couts[idx - 1];
+    traces[idx].trueCarryIn = cPrev;
+    const int err = static_cast<int>(cPrev) - static_cast<int>(specs[idx]);
+    traces[idx].faultDirection = err;
+    if (err == 0) continue;
+    const std::uint64_t lowC = sums[idx] & maskBits(c);
+    const std::int64_t blockWeight = std::int64_t{1}
+                                     << (static_cast<unsigned>(i) *
+                                         static_cast<unsigned>(k));
+    const std::int64_t prevWeight = std::int64_t{1}
+                                    << (static_cast<unsigned>(i - 1) *
+                                        static_cast<unsigned>(k));
+    if (err > 0) {
+      // Missed carry: the local sum is short of +1.
+      if (c > 0 && lowC != maskBits(c)) {
+        sums[idx] += 1;  // stays within the C-bit group by the guard above
+        traces[idx].corrected = true;
+      } else if (r > 0) {
+        // Preceding sum is 2^k too low (its carry was dropped): saturating
+        // its top R bits towards 1 shrinks the deficit below 2^(k-r).
+        const std::int64_t delta = static_cast<std::int64_t>(
+            (sums[idx - 1] | topRMask) - sums[idx - 1]);
+        traces[idx].errorContribution = -blockWeight + delta * prevWeight;
+        sums[idx - 1] |= topRMask;
+        traces[idx].balanced = true;
+      } else {
+        traces[idx].errorContribution = -blockWeight;
+      }
+    } else {
+      // Spurious carry: the local sum is +1 too high.
+      if (c > 0 && lowC != 0) {
+        sums[idx] -= 1;
+        traces[idx].corrected = true;
+      } else if (r > 0) {
+        const std::int64_t delta = static_cast<std::int64_t>(
+            sums[idx - 1] - (sums[idx - 1] & ~topRMask));
+        traces[idx].errorContribution = blockWeight - delta * prevWeight;
+        sums[idx - 1] &= ~topRMask;
+        traces[idx].balanced = true;
+      } else {
+        traces[idx].errorContribution = blockWeight;
+      }
+    }
+  }
+
+  IsaSum result;
+  for (int i = 0; i < paths; ++i) {
+    result.sum |= sums[static_cast<std::size_t>(i)]
+                  << (static_cast<unsigned>(i) * static_cast<unsigned>(k));
+  }
+  result.sum &= mask_;
+  result.carryOut = couts[static_cast<std::size_t>(paths - 1)];
+  return result;
+}
+
+std::vector<int> equivalentBitPositions(std::span<const PathTrace> traces) {
+  std::vector<int> positions;
+  for (const PathTrace& t : traces) {
+    if (t.errorContribution == 0) continue;
+    const auto magnitude = static_cast<std::uint64_t>(
+        t.errorContribution < 0 ? -t.errorContribution : t.errorContribution);
+    positions.push_back(63 - std::countl_zero(magnitude));
+  }
+  return positions;
+}
+
+std::int64_t IsaAdder::structuralError(std::uint64_t a, std::uint64_t b,
+                                       bool carryIn) const {
+  const IsaSum gold = add(a, b, carryIn);
+  const IsaSum diamond = exactAdd(a, b, carryIn);
+  return static_cast<std::int64_t>(gold.value(cfg_.width)) -
+         static_cast<std::int64_t>(diamond.value(cfg_.width));
+}
+
+}  // namespace oisa::core

@@ -1,0 +1,53 @@
+#include "experiments/cli.h"
+
+#include <stdexcept>
+
+namespace oisa::experiments {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      throw std::invalid_argument("ArgParser: unexpected argument '" + token +
+                                  "' (expected --key=value)");
+    }
+    const std::string body = token.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "true";  // boolean flag
+    } else {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+std::uint64_t ArgParser::getU64(const std::string& key,
+                                std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stoull(it->second);
+}
+
+double ArgParser::getDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+std::string ArgParser::getString(const std::string& key,
+                                 std::string fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool ArgParser::getBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+}  // namespace oisa::experiments

@@ -1,0 +1,30 @@
+// oisa_experiments: tiny `--key=value` command-line parser for the bench
+// and example binaries (no external dependencies).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace oisa::experiments {
+
+/// Parses `--key=value` and boolean `--flag` arguments; anything else is
+/// rejected with an exception listing the offending token.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  [[nodiscard]] std::uint64_t getU64(const std::string& key,
+                                     std::uint64_t fallback) const;
+  [[nodiscard]] double getDouble(const std::string& key,
+                                 double fallback) const;
+  [[nodiscard]] std::string getString(const std::string& key,
+                                      std::string fallback) const;
+  [[nodiscard]] bool getBool(const std::string& key, bool fallback) const;
+  [[nodiscard]] bool has(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace oisa::experiments

@@ -1,0 +1,173 @@
+#include "experiments/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/bit_distribution.h"
+#include "core/isa_adder.h"
+#include "experiments/trace_collector.h"
+
+namespace oisa::experiments {
+
+namespace {
+
+std::unique_ptr<Workload> workloadFor(const RunOptions& options, int width,
+                                      std::uint64_t seedOffset) {
+  return makeWorkload(options.workload, width, options.seed + seedOffset);
+}
+
+/// Runs task(0..count-1) across `threads` workers (0 = hardware
+/// concurrency). Tasks must be independent.
+template <typename Task>
+void runParallel(std::size_t count, unsigned threads, Task&& task) {
+  unsigned workers = threads == 0 ? std::thread::hardware_concurrency()
+                                  : threads;
+  if (workers == 0) workers = 1;
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, count == 0 ? 1 : count));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1)) {
+        task(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace
+
+std::vector<CombinationRow> runErrorCombination(
+    const std::vector<circuits::SynthesizedDesign>& designs,
+    std::span<const double> cprPercents, const RunOptions& options) {
+  const std::size_t points = designs.size() * cprPercents.size();
+  std::vector<CombinationRow> rows(points);
+  runParallel(points, options.threads, [&](std::size_t point) {
+    const circuits::SynthesizedDesign& design =
+        designs[point / cprPercents.size()];
+    const double cpr = cprPercents[point % cprPercents.size()];
+    const double period = overclockedPeriodNs(options.signOffPeriodNs, cpr);
+    // Same workload seed across designs and CPRs so every design sees the
+    // same stimulus, as in the paper's common random sample.
+    auto workload = workloadFor(options, design.config.width, 0);
+    const predict::Trace trace =
+        collectTrace(design, period, *workload, options.cycles);
+
+    const int width = design.config.width;
+    core::ErrorCombination combo;
+    for (const predict::TraceRecord& rec : trace) {
+      combo.add(core::OutputTriple{rec.diamondValue(width),
+                                   rec.goldValue(width),
+                                   rec.silverValue(width)});
+    }
+    CombinationRow row;
+    row.design = design.config.name();
+    row.cprPercent = cpr;
+    row.periodNs = period;
+    row.rmsRelStruct = combo.relStruct().rms();
+    row.rmsRelTiming = combo.relTiming().rms();
+    row.rmsRelJoint = combo.relJoint().rms();
+    row.meanAbsJointArith = combo.arithJoint().meanAbs();
+    row.structErrorRate = combo.arithStruct().errorRate();
+    row.timingErrorRate = combo.arithTiming().errorRate();
+    row.cycles = combo.cycles();
+    rows[point] = std::move(row);
+  });
+  return rows;
+}
+
+std::vector<PredictionRow> runPredictionEvaluation(
+    const std::vector<circuits::SynthesizedDesign>& designs,
+    std::span<const double> cprPercents, const PredictionOptions& options) {
+  const std::size_t points = designs.size() * cprPercents.size();
+  std::vector<PredictionRow> rows(points);
+  runParallel(points, options.run.threads, [&](std::size_t point) {
+    const circuits::SynthesizedDesign& design =
+        designs[point / cprPercents.size()];
+    const double cpr = cprPercents[point % cprPercents.size()];
+    const double period =
+        overclockedPeriodNs(options.run.signOffPeriodNs, cpr);
+    // Train and test stimuli come from differently-seeded streams.
+    auto trainWorkload = workloadFor(options.run, design.config.width, 1);
+    auto testWorkload = workloadFor(options.run, design.config.width, 2);
+    const predict::Trace trainTrace =
+        collectTrace(design, period, *trainWorkload, options.trainCycles);
+    const predict::Trace testTrace =
+        collectTrace(design, period, *testWorkload, options.testCycles);
+
+    predict::BitLevelPredictor predictor(design.config.width,
+                                         options.predictor);
+    predictor.fit(trainTrace);
+    const predict::PredictorEvaluation eval = predictor.evaluate(testTrace);
+
+    PredictionRow row;
+    row.design = design.config.name();
+    row.cprPercent = cpr;
+    row.periodNs = period;
+    row.abper = eval.abper;
+    row.avpe = eval.avpe;
+    row.trainCycles = options.trainCycles;
+    row.testCycles = eval.cycles;
+    rows[point] = std::move(row);
+  });
+  return rows;
+}
+
+BitDistributionResult runBitDistribution(
+    const circuits::SynthesizedDesign& design, double cprPercent,
+    const RunOptions& options) {
+  const double period =
+      overclockedPeriodNs(options.signOffPeriodNs, cprPercent);
+  auto workload = workloadFor(options, design.config.width, 0);
+  const predict::Trace trace =
+      collectTrace(design, period, *workload, options.cycles);
+
+  const int width = design.config.width;
+  // Positions 0..width-1 are sum bits; position `width` is the carry-out
+  // (the paper's Fig. 10 x-axis spans 0..32 for 32-bit adders).
+  //
+  // Structural series: the paper translates each independent speculative
+  // fault's net arithmetic contribution into its equivalent bit position.
+  // Timing series: timing errors "might span over various outputs", so they
+  // are counted bitwise (y_silver vs y_gold).
+  const core::IsaAdder behavioral(design.config);
+  std::vector<std::uint64_t> structuralCounts(
+      static_cast<std::size_t>(width + 1), 0);
+  core::BitErrorDistribution timing(width + 1);
+  std::vector<core::PathTrace> traces;
+  for (const predict::TraceRecord& rec : trace) {
+    (void)behavioral.addTraced(rec.a, rec.b, rec.carryIn, traces);
+    for (const int pos : core::equivalentBitPositions(traces)) {
+      if (pos <= width) {
+        ++structuralCounts[static_cast<std::size_t>(pos)];
+      }
+    }
+    const std::uint64_t coutBit = std::uint64_t{1} << width;
+    const std::uint64_t goldWord = rec.gold | (rec.goldCout ? coutBit : 0);
+    const std::uint64_t silverWord =
+        rec.silver | (rec.silverCout ? coutBit : 0);
+    timing.add(silverWord, goldWord);
+  }
+  BitDistributionResult result;
+  result.design = design.config.name();
+  result.cprPercent = cprPercent;
+  result.structuralRate.resize(static_cast<std::size_t>(width + 1));
+  for (std::size_t i = 0; i < structuralCounts.size(); ++i) {
+    result.structuralRate[i] =
+        static_cast<double>(structuralCounts[i]) /
+        static_cast<double>(trace.size());
+  }
+  result.timingRate = timing.rates();
+  return result;
+}
+
+}  // namespace oisa::experiments

@@ -1,0 +1,89 @@
+// oisa_experiments: end-to-end experiment pipelines for the paper's
+// evaluation section. One function per figure; bench binaries are thin
+// wrappers around these so tests can exercise the same code paths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuits/synthesis.h"
+#include "core/error_model.h"
+#include "experiments/workload.h"
+#include "predict/bit_predictor.h"
+
+namespace oisa::experiments {
+
+/// Shared run controls.
+struct RunOptions {
+  std::uint64_t cycles = 20000;     ///< characterization cycles per run
+  std::uint64_t seed = 42;
+  std::string workload = "uniform";
+  double signOffPeriodNs = 0.3;     ///< the paper's constraint
+  /// Worker threads across (design, CPR) points; 0 = hardware concurrency.
+  /// Results are bit-identical regardless of the thread count (each point
+  /// owns its seeded workload and simulator).
+  unsigned threads = 0;
+};
+
+/// One (design, CPR) row of the Fig. 9 study.
+struct CombinationRow {
+  std::string design;
+  double cprPercent = 0.0;
+  double periodNs = 0.0;
+  // Relative-error RMS, the paper's headline metric (in fractional units;
+  // multiply by 100 for the paper's % axis).
+  double rmsRelStruct = 0.0;
+  double rmsRelTiming = 0.0;
+  double rmsRelJoint = 0.0;
+  // Supporting numbers.
+  double meanAbsJointArith = 0.0;
+  double structErrorRate = 0.0;
+  double timingErrorRate = 0.0;
+  std::uint64_t cycles = 0;
+};
+
+/// Fig. 9: structural/timing/joint relative-error RMS per design per CPR.
+[[nodiscard]] std::vector<CombinationRow> runErrorCombination(
+    const std::vector<circuits::SynthesizedDesign>& designs,
+    std::span<const double> cprPercents, const RunOptions& options);
+
+/// One (design, CPR) row of the Fig. 7 / Fig. 8 studies.
+struct PredictionRow {
+  std::string design;
+  double cprPercent = 0.0;
+  double periodNs = 0.0;
+  double abper = 0.0;
+  double avpe = 0.0;
+  std::uint64_t trainCycles = 0;
+  std::uint64_t testCycles = 0;
+};
+
+/// Extra controls for the prediction study.
+struct PredictionOptions {
+  RunOptions run{};
+  std::uint64_t trainCycles = 12000;
+  std::uint64_t testCycles = 6000;
+  predict::PredictorParams predictor{};
+};
+
+/// Figs. 7-8: train the bit-level model per (design, CPR), evaluate ABPER
+/// and AVPE on held-out cycles.
+[[nodiscard]] std::vector<PredictionRow> runPredictionEvaluation(
+    const std::vector<circuits::SynthesizedDesign>& designs,
+    std::span<const double> cprPercents, const PredictionOptions& options);
+
+/// Fig. 10: per-bit-position structural and timing error rates.
+struct BitDistributionResult {
+  std::string design;
+  double cprPercent = 0.0;
+  std::vector<double> structuralRate;  ///< index = bit position (cout last)
+  std::vector<double> timingRate;
+};
+
+[[nodiscard]] BitDistributionResult runBitDistribution(
+    const circuits::SynthesizedDesign& design, double cprPercent,
+    const RunOptions& options);
+
+}  // namespace oisa::experiments

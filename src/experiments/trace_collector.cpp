@@ -1,0 +1,44 @@
+#include "experiments/trace_collector.h"
+
+#include "core/isa_adder.h"
+#include "timing/event_sim.h"
+
+namespace oisa::experiments {
+
+predict::Trace collectTrace(const circuits::SynthesizedDesign& design,
+                            double periodNs, Workload& workload,
+                            std::uint64_t cycles) {
+  const int width = design.config.width;
+  const core::IsaAdder behavioral(design.config);
+  timing::ClockedSampler sampler(design.netlist, design.delays, periodNs);
+
+  const Stimulus reset = workload.next();
+  sampler.initialize(
+      circuits::packOperands(reset.a, reset.b, reset.carryIn, width));
+
+  predict::Trace trace;
+  trace.reserve(cycles);
+  for (std::uint64_t t = 0; t < cycles; ++t) {
+    const Stimulus stim = workload.next();
+    const auto outputs = sampler.step(
+        circuits::packOperands(stim.a, stim.b, stim.carryIn, width));
+
+    predict::TraceRecord rec;
+    rec.a = stim.a;
+    rec.b = stim.b;
+    rec.carryIn = stim.carryIn;
+    const core::IsaSum diamond =
+        behavioral.exactAdd(stim.a, stim.b, stim.carryIn);
+    rec.diamond = diamond.sum;
+    rec.diamondCout = diamond.carryOut;
+    const core::IsaSum gold = behavioral.add(stim.a, stim.b, stim.carryIn);
+    rec.gold = gold.sum;
+    rec.goldCout = gold.carryOut;
+    rec.silver = circuits::unpackSum(outputs, width);
+    rec.silverCout = circuits::unpackCarryOut(outputs, width);
+    trace.push_back(rec);
+  }
+  return trace;
+}
+
+}  // namespace oisa::experiments

@@ -1,0 +1,30 @@
+// oisa_experiments: gate-level trace collection.
+//
+// The paper's "Data Collection" step: drive the synthesized design with a
+// workload through the overclocked event-driven simulator, recording per
+// cycle the exact sum (y_diamond), the behavioral/RTL sum (y_gold) and the
+// gate-level sampled sum (y_silver).
+#pragma once
+
+#include <cstdint>
+
+#include "circuits/synthesis.h"
+#include "experiments/workload.h"
+#include "predict/trace.h"
+
+namespace oisa::experiments {
+
+/// Clock-period reduction (CPR) in percent of the sign-off period.
+[[nodiscard]] constexpr double overclockedPeriodNs(double signOffNs,
+                                                   double cprPercent) noexcept {
+  return signOffNs * (1.0 - cprPercent / 100.0);
+}
+
+/// Runs `cycles` cycles of `workload` through `design` at `periodNs` and
+/// returns the per-cycle trace. The first stimulus is used as a settled
+/// reset vector (not recorded).
+[[nodiscard]] predict::Trace collectTrace(
+    const circuits::SynthesizedDesign& design, double periodNs,
+    Workload& workload, std::uint64_t cycles);
+
+}  // namespace oisa::experiments

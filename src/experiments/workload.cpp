@@ -1,0 +1,76 @@
+#include "experiments/workload.h"
+
+#include <stdexcept>
+
+namespace oisa::experiments {
+
+namespace {
+[[nodiscard]] constexpr std::uint64_t maskBits(int n) noexcept {
+  if (n <= 0) return 0;
+  if (n >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << n) - 1;
+}
+}  // namespace
+
+UniformWorkload::UniformWorkload(int width, std::uint64_t seed)
+    : rng_(seed), mask_(maskBits(width)) {}
+
+Stimulus UniformWorkload::next() {
+  Stimulus s;
+  s.a = rng_() & mask_;
+  s.b = rng_() & mask_;
+  s.carryIn = false;  // the paper studies plain unsigned addition
+  return s;
+}
+
+RandomWalkWorkload::RandomWalkWorkload(int width, int stepBits,
+                                       std::uint64_t seed)
+    : rng_(seed), mask_(maskBits(width)), stepMask_(maskBits(stepBits)) {
+  a_ = rng_() & mask_;
+  b_ = rng_() & mask_;
+}
+
+Stimulus RandomWalkWorkload::next() {
+  const std::uint64_t stepA = rng_() & stepMask_;
+  const std::uint64_t stepB = rng_() & stepMask_;
+  // Signed steps: direction chosen by one extra random bit each.
+  a_ = ((rng_() & 1u) ? a_ + stepA : a_ - stepA) & mask_;
+  b_ = ((rng_() & 1u) ? b_ + stepB : b_ - stepB) & mask_;
+  return Stimulus{a_, b_, false};
+}
+
+SparseToggleWorkload::SparseToggleWorkload(int width,
+                                           double toggleProbability,
+                                           std::uint64_t seed)
+    : rng_(seed), width_(width), toggleProbability_(toggleProbability) {
+  if (toggleProbability < 0.0 || toggleProbability > 1.0) {
+    throw std::invalid_argument("SparseToggleWorkload: bad probability");
+  }
+  a_ = rng_() & maskBits(width);
+  b_ = rng_() & maskBits(width);
+}
+
+Stimulus SparseToggleWorkload::next() {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int i = 0; i < width_; ++i) {
+    if (coin(rng_) < toggleProbability_) a_ ^= std::uint64_t{1} << i;
+    if (coin(rng_) < toggleProbability_) b_ ^= std::uint64_t{1} << i;
+  }
+  return Stimulus{a_, b_, false};
+}
+
+std::unique_ptr<Workload> makeWorkload(const std::string& kind, int width,
+                                       std::uint64_t seed) {
+  if (kind == "uniform") {
+    return std::make_unique<UniformWorkload>(width, seed);
+  }
+  if (kind == "random-walk") {
+    return std::make_unique<RandomWalkWorkload>(width, 8, seed);
+  }
+  if (kind == "sparse-toggle") {
+    return std::make_unique<SparseToggleWorkload>(width, 0.05, seed);
+  }
+  throw std::invalid_argument("makeWorkload: unknown kind '" + kind + "'");
+}
+
+}  // namespace oisa::experiments

@@ -1,0 +1,83 @@
+// oisa_experiments: input workload generators.
+//
+// The paper characterizes adders with ten million uniform random unsigned
+// inputs; additional generators exercise realistic activity patterns
+// (correlated random walks as in DSP streams, sparse/bursty toggling) for
+// extended studies, since timing errors depend on consecutive-cycle input
+// pairs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+
+namespace oisa::experiments {
+
+/// One cycle of adder stimulus.
+struct Stimulus {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  bool carryIn = false;
+};
+
+/// Abstract stream of stimuli.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  [[nodiscard]] virtual Stimulus next() = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Uniform random operands over the full width (the paper's setting).
+class UniformWorkload final : public Workload {
+ public:
+  UniformWorkload(int width, std::uint64_t seed);
+  [[nodiscard]] Stimulus next() override;
+  [[nodiscard]] std::string name() const override { return "uniform"; }
+
+ private:
+  std::mt19937_64 rng_;
+  std::uint64_t mask_;
+};
+
+/// Random-walk operands: each operand moves by a bounded signed step each
+/// cycle, modeling correlated DSP streams (low MSB activity).
+class RandomWalkWorkload final : public Workload {
+ public:
+  /// `stepBits` — maximum step magnitude is 2^stepBits.
+  RandomWalkWorkload(int width, int stepBits, std::uint64_t seed);
+  [[nodiscard]] Stimulus next() override;
+  [[nodiscard]] std::string name() const override { return "random-walk"; }
+
+ private:
+  std::mt19937_64 rng_;
+  std::uint64_t mask_;
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+  std::uint64_t stepMask_;
+};
+
+/// Sparse toggling: each operand bit flips with a small probability per
+/// cycle, producing low-activity inputs that rarely sensitize long paths.
+class SparseToggleWorkload final : public Workload {
+ public:
+  SparseToggleWorkload(int width, double toggleProbability,
+                       std::uint64_t seed);
+  [[nodiscard]] Stimulus next() override;
+  [[nodiscard]] std::string name() const override { return "sparse-toggle"; }
+
+ private:
+  std::mt19937_64 rng_;
+  int width_;
+  double toggleProbability_;
+  std::uint64_t a_ = 0;
+  std::uint64_t b_ = 0;
+};
+
+/// Factory by name ("uniform", "random-walk", "sparse-toggle") for CLIs.
+[[nodiscard]] std::unique_ptr<Workload> makeWorkload(const std::string& kind,
+                                                     int width,
+                                                     std::uint64_t seed);
+
+}  // namespace oisa::experiments

@@ -1,0 +1,12 @@
+#include "ml/dataset.h"
+
+#include <numeric>
+
+namespace oisa::ml {
+
+std::size_t Dataset::positiveCount() const noexcept {
+  return static_cast<std::size_t>(
+      std::accumulate(labels_.begin(), labels_.end(), std::size_t{0}));
+}
+
+}  // namespace oisa::ml

@@ -1,0 +1,61 @@
+// oisa_ml: binary-feature dataset for supervised classification.
+//
+// The timing-error prediction features of the paper are all single bits
+// (operand bits of the current and previous cycle, plus two RTL output
+// bits), so features are stored as bytes in a dense row-major matrix.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace oisa::ml {
+
+/// Dense binary-feature dataset with boolean labels.
+class Dataset {
+ public:
+  explicit Dataset(std::size_t featureCount) : featureCount_(featureCount) {
+    if (featureCount == 0) {
+      throw std::invalid_argument("Dataset: featureCount must be > 0");
+    }
+  }
+
+  void addRow(std::span<const std::uint8_t> features, bool label) {
+    if (features.size() != featureCount_) {
+      throw std::invalid_argument("Dataset: row has wrong feature count");
+    }
+    data_.insert(data_.end(), features.begin(), features.end());
+    labels_.push_back(label ? 1 : 0);
+  }
+
+  [[nodiscard]] std::size_t rowCount() const noexcept {
+    return labels_.size();
+  }
+  [[nodiscard]] std::size_t featureCount() const noexcept {
+    return featureCount_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> row(std::size_t i) const {
+    return {data_.data() + i * featureCount_, featureCount_};
+  }
+  [[nodiscard]] bool label(std::size_t i) const { return labels_.at(i) != 0; }
+  [[nodiscard]] std::uint8_t feature(std::size_t row,
+                                     std::size_t col) const noexcept {
+    return data_[row * featureCount_ + col];
+  }
+
+  /// Number of positive labels (convenience for imbalance checks).
+  [[nodiscard]] std::size_t positiveCount() const noexcept;
+
+  void reserve(std::size_t rows) {
+    data_.reserve(rows * featureCount_);
+    labels_.reserve(rows);
+  }
+
+ private:
+  std::size_t featureCount_;
+  std::vector<std::uint8_t> data_;
+  std::vector<std::uint8_t> labels_;
+};
+
+}  // namespace oisa::ml

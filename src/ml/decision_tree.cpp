@@ -1,0 +1,156 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace oisa::ml {
+
+namespace {
+
+/// Gini impurity of a node with `pos` positives out of `n`.
+[[nodiscard]] double gini(std::size_t pos, std::size_t n) noexcept {
+  if (n == 0) return 0.0;
+  const double q = static_cast<double>(pos) / static_cast<double>(n);
+  return 2.0 * q * (1.0 - q);
+}
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& data,
+                       std::span<const std::uint32_t> rows,
+                       const TreeParams& params, std::mt19937_64& rng) {
+  if (rows.empty()) {
+    throw std::invalid_argument("DecisionTree::fit: no training rows");
+  }
+  nodes_.clear();
+  std::vector<std::uint32_t> work(rows.begin(), rows.end());
+  (void)grow(data, work, 0, params, rng);
+}
+
+void DecisionTree::fit(const Dataset& data, const TreeParams& params,
+                       std::uint64_t seed) {
+  std::vector<std::uint32_t> rows(data.rowCount());
+  std::iota(rows.begin(), rows.end(), 0u);
+  std::mt19937_64 rng(seed);
+  fit(data, rows, params, rng);
+}
+
+std::uint32_t DecisionTree::grow(const Dataset& data,
+                                 std::vector<std::uint32_t>& rows, int depth,
+                                 const TreeParams& params,
+                                 std::mt19937_64& rng) {
+  const std::size_t n = rows.size();
+  std::size_t pos = 0;
+  for (std::uint32_t r : rows) pos += data.label(r) ? 1 : 0;
+
+  const auto nodeIndex = static_cast<std::uint32_t>(nodes_.size());
+  Node node;
+  node.probability =
+      n ? static_cast<float>(static_cast<double>(pos) / static_cast<double>(n))
+        : 0.0f;
+  nodes_.push_back(node);
+
+  const bool pure = pos == 0 || pos == n;
+  if (pure || depth >= params.maxDepth || n < params.minSamplesSplit) {
+    return nodeIndex;  // leaf
+  }
+
+  // Candidate features: all, or a random subset (forest mode).
+  const std::size_t f = data.featureCount();
+  std::vector<std::uint32_t> candidates;
+  if (params.featuresPerSplit == 0 || params.featuresPerSplit >= f) {
+    candidates.resize(f);
+    std::iota(candidates.begin(), candidates.end(), 0u);
+  } else {
+    // Partial Fisher-Yates over feature indices.
+    candidates.resize(f);
+    std::iota(candidates.begin(), candidates.end(), 0u);
+    for (std::size_t i = 0; i < params.featuresPerSplit; ++i) {
+      std::uniform_int_distribution<std::size_t> pick(i, f - 1);
+      std::swap(candidates[i], candidates[pick(rng)]);
+    }
+    candidates.resize(params.featuresPerSplit);
+  }
+
+  const double parentImpurity = gini(pos, n);
+  double bestGain = 1e-12;
+  std::int32_t bestFeature = -1;
+  for (std::uint32_t feat : candidates) {
+    std::size_t n1 = 0, pos1 = 0;
+    for (std::uint32_t r : rows) {
+      if (data.feature(r, feat) != 0) {
+        ++n1;
+        pos1 += data.label(r) ? 1 : 0;
+      }
+    }
+    const std::size_t n0 = n - n1;
+    const std::size_t pos0 = pos - pos1;
+    if (n0 < params.minSamplesLeaf || n1 < params.minSamplesLeaf) continue;
+    const double childImpurity =
+        (static_cast<double>(n0) * gini(pos0, n0) +
+         static_cast<double>(n1) * gini(pos1, n1)) /
+        static_cast<double>(n);
+    const double gain = parentImpurity - childImpurity;
+    if (gain > bestGain) {
+      bestGain = gain;
+      bestFeature = static_cast<std::int32_t>(feat);
+    }
+  }
+  if (bestFeature < 0) {
+    return nodeIndex;  // no useful split found: leaf
+  }
+
+  // Partition rows in place: zeros first.
+  auto mid = std::partition(rows.begin(), rows.end(),
+                            [&](std::uint32_t r) {
+                              return data.feature(
+                                         r, static_cast<std::size_t>(
+                                                bestFeature)) == 0;
+                            });
+  std::vector<std::uint32_t> rightRows(mid, rows.end());
+  rows.erase(mid, rows.end());
+
+  nodes_[nodeIndex].feature = bestFeature;
+  const std::uint32_t left = grow(data, rows, depth + 1, params, rng);
+  nodes_[nodeIndex].left = left;
+  const std::uint32_t right = grow(data, rightRows, depth + 1, params, rng);
+  nodes_[nodeIndex].right = right;
+  return nodeIndex;
+}
+
+bool DecisionTree::predict(std::span<const std::uint8_t> features) const {
+  return predictProbability(features) >= 0.5;
+}
+
+double DecisionTree::predictProbability(
+    std::span<const std::uint8_t> features) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree: predict before fit");
+  }
+  std::uint32_t idx = 0;
+  while (nodes_[idx].feature >= 0) {
+    const auto feat = static_cast<std::size_t>(nodes_[idx].feature);
+    idx = features[feat] ? nodes_[idx].right : nodes_[idx].left;
+  }
+  return nodes_[idx].probability;
+}
+
+int DecisionTree::depth() const noexcept {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the flat representation.
+  std::vector<std::pair<std::uint32_t, int>> stack{{0u, 1}};
+  int best = 0;
+  while (!stack.empty()) {
+    const auto [idx, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    if (nodes_[idx].feature >= 0) {
+      stack.emplace_back(nodes_[idx].left, d + 1);
+      stack.emplace_back(nodes_[idx].right, d + 1);
+    }
+  }
+  return best;
+}
+
+}  // namespace oisa::ml

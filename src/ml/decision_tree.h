@@ -1,0 +1,71 @@
+// oisa_ml: CART decision tree for binary features (Gini impurity).
+//
+// The building block of the paper's Random Forest Classification: each tree
+// "learns a set of decision rules based on the pattern of input and their
+// possible outcomes". Nodes are stored in a flat vector — no pointer
+// chasing, trivially serializable.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace oisa::ml {
+
+/// Tree growth controls.
+struct TreeParams {
+  int maxDepth = 12;
+  std::size_t minSamplesSplit = 4;  ///< below this a node becomes a leaf
+  std::size_t minSamplesLeaf = 1;   ///< both split sides must keep this many
+  /// Features examined per split: 0 = all (plain CART); forests pass
+  /// ~sqrt(featureCount) for decorrelation.
+  std::size_t featuresPerSplit = 0;
+};
+
+/// CART binary decision tree over binary features.
+class DecisionTree final : public BinaryClassifier {
+ public:
+  /// Grows a tree on `rows` (indices into `data`); `rng` drives feature
+  /// subsampling when params.featuresPerSplit > 0.
+  void fit(const Dataset& data, std::span<const std::uint32_t> rows,
+           const TreeParams& params, std::mt19937_64& rng);
+
+  /// Grows on the whole dataset.
+  void fit(const Dataset& data, const TreeParams& params,
+           std::uint64_t seed = 1);
+
+  [[nodiscard]] bool predict(
+      std::span<const std::uint8_t> features) const override;
+  [[nodiscard]] double predictProbability(
+      std::span<const std::uint8_t> features) const override;
+
+  [[nodiscard]] std::size_t nodeCount() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] int depth() const noexcept;
+  [[nodiscard]] bool trained() const noexcept { return !nodes_.empty(); }
+
+  /// Serialization hooks (text format; see serialize.h).
+  struct Node {
+    std::int32_t feature = -1;   ///< -1 for a leaf
+    std::uint32_t left = 0;      ///< child when feature value == 0
+    std::uint32_t right = 0;     ///< child when feature value == 1
+    float probability = 0.0f;    ///< P(positive) at this node
+  };
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
+    return nodes_;
+  }
+  void setNodes(std::vector<Node> nodes) { nodes_ = std::move(nodes); }
+
+ private:
+  std::uint32_t grow(const Dataset& data, std::vector<std::uint32_t>& rows,
+                     int depth, const TreeParams& params,
+                     std::mt19937_64& rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace oisa::ml

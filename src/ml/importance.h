@@ -1,0 +1,26 @@
+// oisa_ml: split-based feature importance.
+//
+// Trees don't store impurity gains, so importance is estimated from split
+// usage weighted by node population share (approximated by 2^-depth: a
+// split nearer the root sees more samples). Good enough to rank features —
+// the predictor uses it to show that the paper's {x[t-1], yRTL} features
+// carry real signal.
+#pragma once
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+
+namespace oisa::ml {
+
+/// Per-feature importance of one tree, normalized to sum to 1 (all zeros
+/// for a leaf-only tree). `featureCount` sizes the result.
+[[nodiscard]] std::vector<double> featureImportance(const DecisionTree& tree,
+                                                    std::size_t featureCount);
+
+/// Mean tree importance across a forest, normalized to sum to 1.
+[[nodiscard]] std::vector<double> featureImportance(
+    const RandomForest& forest, std::size_t featureCount);
+
+}  // namespace oisa::ml

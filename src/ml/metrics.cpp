@@ -1,0 +1,13 @@
+#include "ml/metrics.h"
+
+namespace oisa::ml {
+
+ConfusionMatrix evaluate(const BinaryClassifier& model, const Dataset& data) {
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < data.rowCount(); ++i) {
+    cm.add(model.predict(data.row(i)), data.label(i));
+  }
+  return cm;
+}
+
+}  // namespace oisa::ml

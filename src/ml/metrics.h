@@ -1,0 +1,56 @@
+// oisa_ml: classification quality metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace oisa::ml {
+
+/// Binary confusion matrix and derived scores.
+struct ConfusionMatrix {
+  std::uint64_t truePositive = 0;
+  std::uint64_t trueNegative = 0;
+  std::uint64_t falsePositive = 0;
+  std::uint64_t falseNegative = 0;
+
+  void add(bool predicted, bool actual) noexcept {
+    if (predicted && actual) ++truePositive;
+    else if (predicted && !actual) ++falsePositive;
+    else if (!predicted && actual) ++falseNegative;
+    else ++trueNegative;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return truePositive + trueNegative + falsePositive + falseNegative;
+  }
+  [[nodiscard]] double accuracy() const noexcept {
+    const auto t = total();
+    return t ? static_cast<double>(truePositive + trueNegative) /
+                   static_cast<double>(t)
+             : 0.0;
+  }
+  [[nodiscard]] double errorRate() const noexcept { return 1.0 - accuracy(); }
+  [[nodiscard]] double precision() const noexcept {
+    const auto d = truePositive + falsePositive;
+    return d ? static_cast<double>(truePositive) / static_cast<double>(d)
+             : 0.0;
+  }
+  [[nodiscard]] double recall() const noexcept {
+    const auto d = truePositive + falseNegative;
+    return d ? static_cast<double>(truePositive) / static_cast<double>(d)
+             : 0.0;
+  }
+  [[nodiscard]] double f1() const noexcept {
+    const double p = precision();
+    const double r = recall();
+    return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+  }
+};
+
+/// Evaluates a classifier over a labeled dataset.
+[[nodiscard]] ConfusionMatrix evaluate(const BinaryClassifier& model,
+                                       const Dataset& data);
+
+}  // namespace oisa::ml

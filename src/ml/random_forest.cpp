@@ -1,0 +1,76 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace oisa::ml {
+
+void RandomForest::fit(const Dataset& data, const ForestParams& params,
+                       std::uint64_t seed) {
+  if (data.rowCount() == 0) {
+    throw std::invalid_argument("RandomForest::fit: empty dataset");
+  }
+  if (params.treeCount == 0) {
+    throw std::invalid_argument("RandomForest::fit: treeCount must be > 0");
+  }
+  TreeParams treeParams = params.tree;
+  if (treeParams.featuresPerSplit == 0) {
+    treeParams.featuresPerSplit = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(data.featureCount()))));
+  }
+  trees_.clear();
+
+  // Degenerate case short-cut: constant labels need a single leaf (frequent
+  // for timing bits that never fail at a mild overclock).
+  const std::size_t pos = data.positiveCount();
+  if (pos == 0 || pos == data.rowCount()) {
+    DecisionTree leaf;
+    leaf.fit(data, TreeParams{0, 2, 1, 0}, seed);
+    trees_.push_back(std::move(leaf));
+    return;
+  }
+
+  std::mt19937_64 rng(seed);
+  const std::size_t n = data.rowCount();
+  std::vector<std::uint32_t> rows(n);
+  for (std::size_t t = 0; t < params.treeCount; ++t) {
+    if (params.bootstrap) {
+      std::uniform_int_distribution<std::uint32_t> pick(
+          0, static_cast<std::uint32_t>(n - 1));
+      for (std::size_t i = 0; i < n; ++i) rows[i] = pick(rng);
+    } else {
+      std::iota(rows.begin(), rows.end(), 0u);
+    }
+    DecisionTree tree;
+    tree.fit(data, rows, treeParams, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+bool RandomForest::predict(std::span<const std::uint8_t> features) const {
+  return predictProbability(features) >= 0.5;
+}
+
+double RandomForest::predictProbability(
+    std::span<const std::uint8_t> features) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest: predict before fit");
+  }
+  double sum = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    sum += tree.predictProbability(features);
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+void MajorityClassifier::fit(const Dataset& data) {
+  if (data.rowCount() == 0) {
+    throw std::invalid_argument("MajorityClassifier::fit: empty dataset");
+  }
+  probability_ = static_cast<double>(data.positiveCount()) /
+                 static_cast<double>(data.rowCount());
+  majority_ = probability_ >= 0.5;
+}
+
+}  // namespace oisa::ml

@@ -1,0 +1,65 @@
+// oisa_ml: Random Forest classifier (bagging + feature subsampling).
+//
+// The paper's model of choice: "RFC alleviates overfitting by developing
+// more than one decision tree and using their average result as final
+// prediction". Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"
+
+namespace oisa::ml {
+
+/// Forest growth controls.
+struct ForestParams {
+  std::size_t treeCount = 10;
+  TreeParams tree{};  ///< tree.featuresPerSplit 0 = auto (sqrt(featureCount))
+  bool bootstrap = true;  ///< sample rows with replacement per tree
+};
+
+/// Random Forest of CART trees; prediction is the mean tree probability.
+class RandomForest final : public BinaryClassifier {
+ public:
+  void fit(const Dataset& data, const ForestParams& params,
+           std::uint64_t seed = 1);
+
+  [[nodiscard]] bool predict(
+      std::span<const std::uint8_t> features) const override;
+  [[nodiscard]] double predictProbability(
+      std::span<const std::uint8_t> features) const override;
+
+  [[nodiscard]] const std::vector<DecisionTree>& trees() const noexcept {
+    return trees_;
+  }
+  void setTrees(std::vector<DecisionTree> trees) {
+    trees_ = std::move(trees);
+  }
+  [[nodiscard]] bool trained() const noexcept { return !trees_.empty(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+/// Baseline that always predicts the training majority class — the paper's
+/// implicit "no model" comparison point for ablations.
+class MajorityClassifier final : public BinaryClassifier {
+ public:
+  void fit(const Dataset& data);
+
+  [[nodiscard]] bool predict(
+      std::span<const std::uint8_t>) const override {
+    return majority_;
+  }
+  [[nodiscard]] double predictProbability(
+      std::span<const std::uint8_t>) const override {
+    return probability_;
+  }
+
+ private:
+  bool majority_ = false;
+  double probability_ = 0.0;
+};
+
+}  // namespace oisa::ml

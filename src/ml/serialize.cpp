@@ -1,0 +1,65 @@
+#include "ml/serialize.h"
+
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace oisa::ml {
+
+void saveTree(const DecisionTree& tree, std::ostream& os) {
+  // Round-trip-exact float formatting for leaf probabilities.
+  os << std::setprecision(std::numeric_limits<float>::max_digits10);
+  os << "tree " << tree.nodes().size() << "\n";
+  for (const DecisionTree::Node& n : tree.nodes()) {
+    os << n.feature << ' ' << n.left << ' ' << n.right << ' '
+       << n.probability << "\n";
+  }
+}
+
+DecisionTree loadTree(std::istream& is) {
+  std::string tag;
+  std::size_t count = 0;
+  if (!(is >> tag >> count) || tag != "tree") {
+    throw std::runtime_error("loadTree: bad header");
+  }
+  std::vector<DecisionTree::Node> nodes(count);
+  for (DecisionTree::Node& n : nodes) {
+    if (!(is >> n.feature >> n.left >> n.right >> n.probability)) {
+      throw std::runtime_error("loadTree: truncated node list");
+    }
+    if (n.feature >= 0 &&
+        (n.left >= count || n.right >= count)) {
+      throw std::runtime_error("loadTree: child index out of range");
+    }
+  }
+  DecisionTree tree;
+  tree.setNodes(std::move(nodes));
+  return tree;
+}
+
+void saveForest(const RandomForest& forest, std::ostream& os) {
+  os << "forest " << forest.trees().size() << "\n";
+  for (const DecisionTree& tree : forest.trees()) {
+    saveTree(tree, os);
+  }
+}
+
+RandomForest loadForest(std::istream& is) {
+  std::string tag;
+  std::size_t count = 0;
+  if (!(is >> tag >> count) || tag != "forest") {
+    throw std::runtime_error("loadForest: bad header");
+  }
+  std::vector<DecisionTree> trees;
+  trees.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    trees.push_back(loadTree(is));
+  }
+  RandomForest forest;
+  forest.setTrees(std::move(trees));
+  return forest;
+}
+
+}  // namespace oisa::ml

@@ -1,0 +1,20 @@
+// oisa_ml: text serialization of trained models.
+//
+// Simple line-oriented format so trained timing-error models can be saved
+// next to a synthesized design and reloaded without retraining.
+#pragma once
+
+#include <iosfwd>
+
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+
+namespace oisa::ml {
+
+void saveTree(const DecisionTree& tree, std::ostream& os);
+[[nodiscard]] DecisionTree loadTree(std::istream& is);
+
+void saveForest(const RandomForest& forest, std::ostream& os);
+[[nodiscard]] RandomForest loadForest(std::istream& is);
+
+}  // namespace oisa::ml

@@ -1,0 +1,61 @@
+#include "netlist/dot.h"
+
+#include <ostream>
+
+namespace oisa::netlist {
+
+namespace {
+/// DOT identifiers must avoid special characters; we quote everything.
+void writeQuoted(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') os << '\\';
+    os << ch;
+  }
+  os << '"';
+}
+}  // namespace
+
+void writeDot(const Netlist& nl, std::ostream& os) {
+  os << "digraph ";
+  writeQuoted(os, nl.name());
+  os << " {\n  rankdir=LR;\n";
+  for (NetId pi : nl.primaryInputs()) {
+    os << "  ";
+    writeQuoted(os, nl.net(pi).name);
+    os << " [shape=box,color=blue];\n";
+  }
+  for (std::uint32_t gi = 0; gi < nl.gateCount(); ++gi) {
+    const Gate& g = nl.gateAt(GateId{gi});
+    os << "  g" << gi << " [label=\"" << gateName(g.kind) << "\"];\n";
+    for (NetId in : g.inputs()) {
+      const Net& n = nl.net(in);
+      if (n.driver == DriverKind::PrimaryInput) {
+        os << "  ";
+        writeQuoted(os, n.name);
+        os << " -> g" << gi << ";\n";
+      } else if (n.driver == DriverKind::Gate) {
+        os << "  g" << n.driverGate.value << " -> g" << gi << ";\n";
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nl.primaryOutputs().size(); ++i) {
+    const NetId net = nl.primaryOutputs()[i];
+    const Net& n = nl.net(net);
+    os << "  ";
+    writeQuoted(os, nl.outputName(i));
+    os << " [shape=doublecircle,color=red];\n";
+    if (n.driver == DriverKind::Gate) {
+      os << "  g" << n.driverGate.value << " -> ";
+    } else {
+      os << "  ";
+      writeQuoted(os, n.name);
+      os << " -> ";
+    }
+    writeQuoted(os, nl.outputName(i));
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace oisa::netlist

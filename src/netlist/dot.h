@@ -1,0 +1,15 @@
+// oisa_netlist: Graphviz DOT export for debugging and documentation.
+#pragma once
+
+#include <iosfwd>
+
+#include "netlist/netlist.h"
+
+namespace oisa::netlist {
+
+/// Writes a Graphviz `digraph` of the netlist: primary inputs as boxes,
+/// gates as ellipses labeled with their cell name, primary outputs as
+/// double circles.
+void writeDot(const Netlist& nl, std::ostream& os);
+
+}  // namespace oisa::netlist

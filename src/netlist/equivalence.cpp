@@ -1,0 +1,105 @@
+#include "netlist/equivalence.h"
+
+#include <random>
+#include <sstream>
+
+#include "netlist/evaluator.h"
+
+namespace oisa::netlist {
+
+namespace {
+
+std::string describeMismatch(const Netlist& a,
+                             const std::vector<std::uint8_t>& inputs,
+                             const std::vector<std::uint8_t>& outA,
+                             const std::vector<std::uint8_t>& outB) {
+  std::ostringstream os;
+  os << "mismatch at inputs [";
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    os << int{inputs[i]};
+  }
+  os << "]: ";
+  for (std::size_t i = 0; i < outA.size(); ++i) {
+    if (outA[i] != outB[i]) {
+      os << a.outputName(i) << "=" << int{outA[i]} << " vs " << int{outB[i]}
+         << " ";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace
+
+EquivalenceResult checkEquivalence(const Netlist& a, const Netlist& b,
+                                   const EquivalenceOptions& options) {
+  EquivalenceResult result;
+  if (a.primaryInputs().size() != b.primaryInputs().size() ||
+      a.primaryOutputs().size() != b.primaryOutputs().size()) {
+    result.message = "port shape mismatch";
+    return result;
+  }
+  const std::size_t n = a.primaryInputs().size();
+  const Evaluator evalA(a);
+  const Evaluator evalB(b);
+
+  auto tryVector = [&](const std::vector<std::uint8_t>& in) {
+    ++result.vectorsTried;
+    const auto outA = evalA.evaluateOutputs(in);
+    const auto outB = evalB.evaluateOutputs(in);
+    if (outA != outB) {
+      result.counterexample = in;
+      result.message = describeMismatch(a, in, outA, outB);
+      return false;
+    }
+    return true;
+  };
+
+  std::vector<std::uint8_t> in(n, 0);
+  if (n <= static_cast<std::size_t>(options.exhaustiveLimit)) {
+    const std::uint64_t limit = std::uint64_t{1} << n;
+    for (std::uint64_t pattern = 0; pattern < limit; ++pattern) {
+      for (std::size_t i = 0; i < n; ++i) {
+        in[i] = static_cast<std::uint8_t>((pattern >> i) & 1u);
+      }
+      if (!tryVector(in)) return result;
+    }
+    result.equivalent = true;
+    result.message = "exhaustively equivalent";
+    return result;
+  }
+
+  // Directed corners: all-zero, all-one, walking ones/zeros, alternating.
+  auto fill = [&](auto&& bit) {
+    for (std::size_t i = 0; i < n; ++i) {
+      in[i] = static_cast<std::uint8_t>(bit(i) ? 1 : 0);
+    }
+  };
+  fill([](std::size_t) { return false; });
+  if (!tryVector(in)) return result;
+  fill([](std::size_t) { return true; });
+  if (!tryVector(in)) return result;
+  fill([](std::size_t i) { return i % 2 == 0; });
+  if (!tryVector(in)) return result;
+  fill([](std::size_t i) { return i % 2 == 1; });
+  if (!tryVector(in)) return result;
+  for (std::size_t hot = 0; hot < n; ++hot) {
+    fill([hot](std::size_t i) { return i == hot; });
+    if (!tryVector(in)) return result;
+    fill([hot](std::size_t i) { return i != hot; });
+    if (!tryVector(in)) return result;
+  }
+
+  std::mt19937_64 rng(options.seed);
+  for (std::uint64_t v = 0; v < options.randomVectors; ++v) {
+    for (std::size_t i = 0; i < n; ++i) {
+      in[i] = static_cast<std::uint8_t>(rng() & 1u);
+    }
+    if (!tryVector(in)) return result;
+  }
+  result.equivalent = true;
+  result.message = "no mismatch in " + std::to_string(result.vectorsTried) +
+                   " vectors (simulation-based check)";
+  return result;
+}
+
+}  // namespace oisa::netlist

@@ -1,0 +1,40 @@
+// oisa_netlist: simulation-based combinational equivalence checking.
+//
+// Compares two netlists with identical port shapes: exhaustively when the
+// input count is small, otherwise with directed corner patterns plus seeded
+// random vectors (a lightweight stand-in for formal CEC — sufficient for
+// the regression use here, where mismatches are dense when present).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace oisa::netlist {
+
+/// Checker controls.
+struct EquivalenceOptions {
+  int exhaustiveLimit = 14;        ///< exhaustive when #inputs <= this
+  std::uint64_t randomVectors = 4096;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of an equivalence check.
+struct EquivalenceResult {
+  bool equivalent = false;
+  std::uint64_t vectorsTried = 0;
+  /// First mismatching input assignment (one byte per primary input) and a
+  /// human-readable description, when not equivalent.
+  std::optional<std::vector<std::uint8_t>> counterexample;
+  std::string message;
+};
+
+/// Checks that `a` and `b` compute the same outputs for all (tried) inputs.
+/// Port *counts* must match; names need not.
+[[nodiscard]] EquivalenceResult checkEquivalence(
+    const Netlist& a, const Netlist& b, const EquivalenceOptions& options = {});
+
+}  // namespace oisa::netlist

@@ -1,0 +1,45 @@
+// oisa_netlist: zero-delay functional evaluation.
+//
+// Evaluates a netlist as a pure boolean function. Used as the golden
+// reference for the timed simulator (T -> infinity must agree with this) and
+// by equivalence tests between generated netlists and behavioral models.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace oisa::netlist {
+
+/// Reusable zero-delay evaluator. Caches the topological order so repeated
+/// evaluations of the same netlist are a single linear sweep.
+class Evaluator {
+ public:
+  explicit Evaluator(const Netlist& nl);
+
+  /// Evaluates with the given primary-input values (one per primary input,
+  /// in declaration order) and returns net values for the whole netlist.
+  /// The result vector is indexed by NetId::value.
+  [[nodiscard]] std::vector<std::uint8_t> evaluate(
+      std::span<const std::uint8_t> inputValues) const;
+
+  /// Evaluates and returns only the primary-output values, in declaration
+  /// order.
+  [[nodiscard]] std::vector<std::uint8_t> evaluateOutputs(
+      std::span<const std::uint8_t> inputValues) const;
+
+  /// Convenience for arithmetic circuits: packs inputs from a 64-bit word
+  /// (bit i of `word` drives primary input i) and returns outputs packed the
+  /// same way (output i becomes bit i). Requires <= 64 inputs / outputs.
+  [[nodiscard]] std::uint64_t evaluateWord(std::uint64_t word) const;
+
+  [[nodiscard]] const Netlist& netlist() const noexcept { return nl_; }
+
+ private:
+  const Netlist& nl_;
+  std::vector<GateId> order_;
+};
+
+}  // namespace oisa::netlist

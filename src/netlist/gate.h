@@ -1,0 +1,116 @@
+// oisa_netlist: primitive gate library.
+//
+// The gate alphabet is deliberately close to a standard-cell library subset
+// (inverters, 2/3-input monotone gates, XORs, a 2:1 mux and a majority cell)
+// so that the timing layer can attach technology-style delays per kind.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace oisa::netlist {
+
+/// Primitive cell kinds available to circuit generators.
+enum class GateKind : std::uint8_t {
+  Const0,  ///< constant driver, 0 inputs
+  Const1,  ///< constant driver, 0 inputs
+  Buf,     ///< y = a
+  Inv,     ///< y = !a
+  And2,    ///< y = a & b
+  Or2,     ///< y = a | b
+  Nand2,   ///< y = !(a & b)
+  Nor2,    ///< y = !(a | b)
+  Xor2,    ///< y = a ^ b
+  Xnor2,   ///< y = !(a ^ b)
+  And3,    ///< y = a & b & c
+  Or3,     ///< y = a | b | c
+  Aoi21,   ///< y = !((a & b) | c)
+  Oai21,   ///< y = !((a | b) & c)
+  Mux2,    ///< y = s ? b : a   (inputs: a, b, s)
+  Maj3,    ///< y = majority(a, b, c) — full-adder carry cell
+};
+
+/// Number of distinct gate kinds (for per-kind tables).
+inline constexpr std::size_t kGateKindCount = 16;
+
+/// Number of input pins for a gate kind.
+[[nodiscard]] constexpr int gateArity(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::Const0:
+    case GateKind::Const1: return 0;
+    case GateKind::Buf:
+    case GateKind::Inv: return 1;
+    case GateKind::And2:
+    case GateKind::Or2:
+    case GateKind::Nand2:
+    case GateKind::Nor2:
+    case GateKind::Xor2:
+    case GateKind::Xnor2: return 2;
+    case GateKind::And3:
+    case GateKind::Or3:
+    case GateKind::Aoi21:
+    case GateKind::Oai21:
+    case GateKind::Mux2:
+    case GateKind::Maj3: return 3;
+  }
+  return 0;
+}
+
+/// Combinational function of a gate kind over (up to) three boolean inputs.
+[[nodiscard]] constexpr bool evalGate(GateKind kind, bool a, bool b,
+                                      bool c) noexcept {
+  switch (kind) {
+    case GateKind::Const0: return false;
+    case GateKind::Const1: return true;
+    case GateKind::Buf: return a;
+    case GateKind::Inv: return !a;
+    case GateKind::And2: return a && b;
+    case GateKind::Or2: return a || b;
+    case GateKind::Nand2: return !(a && b);
+    case GateKind::Nor2: return !(a || b);
+    case GateKind::Xor2: return a != b;
+    case GateKind::Xnor2: return a == b;
+    case GateKind::And3: return a && b && c;
+    case GateKind::Or3: return a || b || c;
+    case GateKind::Aoi21: return !((a && b) || c);
+    case GateKind::Oai21: return !((a || b) && c);
+    case GateKind::Mux2: return c ? b : a;
+    case GateKind::Maj3: return (a && b) || (a && c) || (b && c);
+  }
+  return false;
+}
+
+/// Human-readable cell name (used by reports and DOT export).
+[[nodiscard]] constexpr std::string_view gateName(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::Const0: return "CONST0";
+    case GateKind::Const1: return "CONST1";
+    case GateKind::Buf: return "BUF";
+    case GateKind::Inv: return "INV";
+    case GateKind::And2: return "AND2";
+    case GateKind::Or2: return "OR2";
+    case GateKind::Nand2: return "NAND2";
+    case GateKind::Nor2: return "NOR2";
+    case GateKind::Xor2: return "XOR2";
+    case GateKind::Xnor2: return "XNOR2";
+    case GateKind::And3: return "AND3";
+    case GateKind::Or3: return "OR3";
+    case GateKind::Aoi21: return "AOI21";
+    case GateKind::Oai21: return "OAI21";
+    case GateKind::Mux2: return "MUX2";
+    case GateKind::Maj3: return "MAJ3";
+  }
+  return "?";
+}
+
+/// All gate kinds, for iteration in tests and per-kind tables.
+[[nodiscard]] constexpr std::array<GateKind, kGateKindCount>
+allGateKinds() noexcept {
+  return {GateKind::Const0, GateKind::Const1, GateKind::Buf,   GateKind::Inv,
+          GateKind::And2,   GateKind::Or2,    GateKind::Nand2, GateKind::Nor2,
+          GateKind::Xor2,   GateKind::Xnor2,  GateKind::And3,  GateKind::Or3,
+          GateKind::Aoi21,  GateKind::Oai21,  GateKind::Mux2,  GateKind::Maj3};
+}
+
+}  // namespace oisa::netlist

@@ -1,0 +1,245 @@
+#include "netlist/transform.h"
+
+#include <optional>
+#include <vector>
+
+namespace oisa::netlist {
+
+namespace {
+
+/// Folded value of an old net in the new netlist: a constant or a signal.
+struct Folded {
+  std::optional<bool> constant;
+  NetId signal{};  ///< valid iff !constant
+};
+
+/// Forward constant-propagation / alias-collapsing rebuild.
+/// Returns the folded netlist; `emitted` counts gates actually created.
+Netlist foldConstants(const Netlist& nl, std::size_t& emitted) {
+  Netlist out(nl.name());
+  std::vector<Folded> value(nl.netCount());
+  for (NetId pi : nl.primaryInputs()) {
+    value[pi.value] = Folded{std::nullopt, out.input(nl.net(pi).name)};
+  }
+
+  auto signalOf = [&](const Folded& f) -> NetId {
+    return f.constant ? out.constant(*f.constant) : f.signal;
+  };
+  auto emit1 = [&](GateKind kind, const Folded& a) {
+    ++emitted;
+    return Folded{std::nullopt, out.gate1(kind, signalOf(a))};
+  };
+  auto emit2 = [&](GateKind kind, const Folded& a, const Folded& b) {
+    ++emitted;
+    return Folded{std::nullopt, out.gate2(kind, signalOf(a), signalOf(b))};
+  };
+  auto emit3 = [&](GateKind kind, const Folded& a, const Folded& b,
+                   const Folded& c) {
+    ++emitted;
+    return Folded{std::nullopt,
+                  out.gate3(kind, signalOf(a), signalOf(b), signalOf(c))};
+  };
+  auto constant = [](bool v) { return Folded{v, NetId{}}; };
+  auto isConst = [](const Folded& f, bool v) {
+    return f.constant && *f.constant == v;
+  };
+
+  for (GateId gid : nl.topologicalOrder()) {
+    const Gate& g = nl.gateAt(gid);
+    const auto ins = g.inputs();
+    // Resolve inputs (primary inputs and earlier gates are already folded).
+    Folded a = !ins.empty() ? value[ins[0].value] : Folded{};
+    Folded b = ins.size() > 1 ? value[ins[1].value] : Folded{};
+    Folded c = ins.size() > 2 ? value[ins[2].value] : Folded{};
+
+    // Fully-constant cone: fold to a constant.
+    const bool allConst = (ins.empty() || a.constant) &&
+                          (ins.size() < 2 || b.constant) &&
+                          (ins.size() < 3 || c.constant);
+    Folded result;
+    if (allConst) {
+      result = constant(evalGate(g.kind, a.constant.value_or(false),
+                                 b.constant.value_or(false),
+                                 c.constant.value_or(false)));
+    } else {
+      switch (g.kind) {
+        case GateKind::Const0: result = constant(false); break;
+        case GateKind::Const1: result = constant(true); break;
+        case GateKind::Buf: result = a; break;
+        case GateKind::Inv: result = emit1(GateKind::Inv, a); break;
+        case GateKind::And2:
+          if (isConst(a, false) || isConst(b, false)) result = constant(false);
+          else if (isConst(a, true)) result = b;
+          else if (isConst(b, true)) result = a;
+          else result = emit2(GateKind::And2, a, b);
+          break;
+        case GateKind::Or2:
+          if (isConst(a, true) || isConst(b, true)) result = constant(true);
+          else if (isConst(a, false)) result = b;
+          else if (isConst(b, false)) result = a;
+          else result = emit2(GateKind::Or2, a, b);
+          break;
+        case GateKind::Nand2:
+          if (isConst(a, false) || isConst(b, false)) result = constant(true);
+          else if (isConst(a, true)) result = emit1(GateKind::Inv, b);
+          else if (isConst(b, true)) result = emit1(GateKind::Inv, a);
+          else result = emit2(GateKind::Nand2, a, b);
+          break;
+        case GateKind::Nor2:
+          if (isConst(a, true) || isConst(b, true)) result = constant(false);
+          else if (isConst(a, false)) result = emit1(GateKind::Inv, b);
+          else if (isConst(b, false)) result = emit1(GateKind::Inv, a);
+          else result = emit2(GateKind::Nor2, a, b);
+          break;
+        case GateKind::Xor2:
+          if (isConst(a, false)) result = b;
+          else if (isConst(b, false)) result = a;
+          else if (isConst(a, true)) result = emit1(GateKind::Inv, b);
+          else if (isConst(b, true)) result = emit1(GateKind::Inv, a);
+          else result = emit2(GateKind::Xor2, a, b);
+          break;
+        case GateKind::Xnor2:
+          if (isConst(a, true)) result = b;
+          else if (isConst(b, true)) result = a;
+          else if (isConst(a, false)) result = emit1(GateKind::Inv, b);
+          else if (isConst(b, false)) result = emit1(GateKind::Inv, a);
+          else result = emit2(GateKind::Xnor2, a, b);
+          break;
+        case GateKind::And3:
+          if (isConst(a, false) || isConst(b, false) || isConst(c, false)) {
+            result = constant(false);
+          } else if (isConst(a, true) && isConst(b, true)) result = c;
+          else if (isConst(a, true) && isConst(c, true)) result = b;
+          else if (isConst(b, true) && isConst(c, true)) result = a;
+          else if (isConst(a, true)) result = emit2(GateKind::And2, b, c);
+          else if (isConst(b, true)) result = emit2(GateKind::And2, a, c);
+          else if (isConst(c, true)) result = emit2(GateKind::And2, a, b);
+          else result = emit3(GateKind::And3, a, b, c);
+          break;
+        case GateKind::Or3:
+          if (isConst(a, true) || isConst(b, true) || isConst(c, true)) {
+            result = constant(true);
+          } else if (isConst(a, false) && isConst(b, false)) result = c;
+          else if (isConst(a, false) && isConst(c, false)) result = b;
+          else if (isConst(b, false) && isConst(c, false)) result = a;
+          else if (isConst(a, false)) result = emit2(GateKind::Or2, b, c);
+          else if (isConst(b, false)) result = emit2(GateKind::Or2, a, c);
+          else if (isConst(c, false)) result = emit2(GateKind::Or2, a, b);
+          else result = emit3(GateKind::Or3, a, b, c);
+          break;
+        case GateKind::Aoi21:  // !((a & b) | c)
+          if (isConst(c, true)) result = constant(false);
+          else if (isConst(a, false) || isConst(b, false)) {
+            result = isConst(c, false) ? constant(true)
+                                       : emit1(GateKind::Inv, c);
+          } else if (isConst(c, false)) {
+            result = emit2(GateKind::Nand2, a, b);
+          } else if (isConst(a, true)) {
+            result = emit2(GateKind::Nor2, b, c);
+          } else if (isConst(b, true)) {
+            result = emit2(GateKind::Nor2, a, c);
+          } else {
+            result = emit3(GateKind::Aoi21, a, b, c);
+          }
+          break;
+        case GateKind::Oai21:  // !((a | b) & c)
+          if (isConst(c, false)) result = constant(true);
+          else if (isConst(a, true) || isConst(b, true)) {
+            result = isConst(c, true) ? constant(false)
+                                      : emit1(GateKind::Inv, c);
+          } else if (isConst(c, true)) {
+            result = emit2(GateKind::Nor2, a, b);
+          } else if (isConst(a, false)) {
+            result = emit2(GateKind::Nand2, b, c);
+          } else if (isConst(b, false)) {
+            result = emit2(GateKind::Nand2, a, c);
+          } else {
+            result = emit3(GateKind::Oai21, a, b, c);
+          }
+          break;
+        case GateKind::Mux2:  // y = s ? b : a, inputs (a, b, s=c)
+          if (isConst(c, false)) result = a;
+          else if (isConst(c, true)) result = b;
+          else if (!a.constant && !b.constant && a.signal == b.signal) {
+            result = a;
+          } else if (isConst(a, false) && isConst(b, true)) {
+            result = c;  // mux degenerates to the select itself
+          } else if (isConst(a, true) && isConst(b, false)) {
+            result = emit1(GateKind::Inv, c);
+          } else {
+            result = emit3(GateKind::Mux2, a, b, c);
+          }
+          break;
+        case GateKind::Maj3:
+          if (isConst(a, false)) result = emit2(GateKind::And2, b, c);
+          else if (isConst(b, false)) result = emit2(GateKind::And2, a, c);
+          else if (isConst(c, false)) result = emit2(GateKind::And2, a, b);
+          else if (isConst(a, true)) result = emit2(GateKind::Or2, b, c);
+          else if (isConst(b, true)) result = emit2(GateKind::Or2, a, c);
+          else if (isConst(c, true)) result = emit2(GateKind::Or2, a, b);
+          else result = emit3(GateKind::Maj3, a, b, c);
+          break;
+      }
+    }
+    value[g.out.value] = result;
+  }
+
+  for (std::size_t i = 0; i < nl.primaryOutputs().size(); ++i) {
+    const Folded& f = value[nl.primaryOutputs()[i].value];
+    out.output(nl.outputName(i), signalOf(f));
+  }
+  return out;
+}
+
+/// Removes gates not in the input cone of any primary output.
+Netlist stripDead(const Netlist& nl, std::size_t& kept) {
+  std::vector<bool> liveNet(nl.netCount(), false);
+  std::vector<NetId> stack(nl.primaryOutputs().begin(),
+                           nl.primaryOutputs().end());
+  while (!stack.empty()) {
+    const NetId net = stack.back();
+    stack.pop_back();
+    if (liveNet[net.value]) continue;
+    liveNet[net.value] = true;
+    const Net& n = nl.net(net);
+    if (n.driver == DriverKind::Gate) {
+      for (NetId in : nl.gateAt(n.driverGate).inputs()) {
+        if (!liveNet[in.value]) stack.push_back(in);
+      }
+    }
+  }
+
+  Netlist out(nl.name());
+  std::vector<NetId> remap(nl.netCount(), NetId{});
+  for (NetId pi : nl.primaryInputs()) {
+    remap[pi.value] = out.input(nl.net(pi).name);
+  }
+  kept = 0;
+  for (GateId gid : nl.topologicalOrder()) {
+    const Gate& g = nl.gateAt(gid);
+    if (!liveNet[g.out.value]) continue;
+    std::vector<NetId> ins;
+    for (NetId in : g.inputs()) ins.push_back(remap[in.value]);
+    remap[g.out.value] = out.gate(g.kind, ins, nl.net(g.out).name);
+    ++kept;
+  }
+  for (std::size_t i = 0; i < nl.primaryOutputs().size(); ++i) {
+    out.output(nl.outputName(i), remap[nl.primaryOutputs()[i].value]);
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepResult sweep(const Netlist& nl) {
+  std::size_t folded = 0;
+  Netlist afterFold = foldConstants(nl, folded);
+  std::size_t kept = 0;
+  Netlist stripped = stripDead(afterFold, kept);
+  SweepResult result{std::move(stripped), 0, 0, nl.gateCount()};
+  result.foldedGates = nl.gateCount() - folded;
+  result.deadGates = afterFold.gateCount() - kept;
+  return result;
+}
+
+}  // namespace oisa::netlist

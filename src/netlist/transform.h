@@ -1,0 +1,28 @@
+// oisa_netlist: synthesis-style cleanup transforms.
+//
+// `sweep` performs constant propagation, buffer/alias collapsing and
+// dead-gate elimination, producing a fresh netlist that computes the same
+// primary-output functions (checked by the equivalence tests). Circuit
+// generators emit structural constants (e.g. a constant-0 speculated carry)
+// that a synthesis tool would fold; this pass is that fold.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.h"
+
+namespace oisa::netlist {
+
+/// Result of a sweep: the optimized netlist plus reduction statistics.
+struct SweepResult {
+  Netlist netlist;
+  std::size_t foldedGates = 0;   ///< gates removed by constant folding/aliasing
+  std::size_t deadGates = 0;     ///< gates removed as unreachable from outputs
+  std::size_t originalGates = 0;
+};
+
+/// Constant propagation + alias collapsing + dead-gate elimination.
+/// Primary inputs and outputs (names and order) are preserved exactly.
+[[nodiscard]] SweepResult sweep(const Netlist& nl);
+
+}  // namespace oisa::netlist

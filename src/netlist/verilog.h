@@ -1,0 +1,22 @@
+// oisa_netlist: structural Verilog export.
+//
+// Writes a synthesizable gate-level Verilog module using primitive
+// continuous assignments, so generated designs can be taken to external
+// EDA tools (simulation, synthesis, LEC) unchanged.
+#pragma once
+
+#include <iosfwd>
+
+#include "netlist/netlist.h"
+
+namespace oisa::netlist {
+
+/// Writes `nl` as a structural Verilog-2001 module named after the
+/// netlist (sanitized to an identifier).
+void writeVerilog(const Netlist& nl, std::ostream& os);
+
+/// Sanitizes an arbitrary name into a Verilog identifier (used for the
+/// module name and all nets; exposed for tests).
+[[nodiscard]] std::string verilogIdentifier(const std::string& name);
+
+}  // namespace oisa::netlist

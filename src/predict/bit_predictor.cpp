@@ -1,0 +1,209 @@
+#include "predict/bit_predictor.h"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "ml/importance.h"
+#include "ml/serialize.h"
+
+namespace oisa::predict {
+
+BitLevelPredictor::BitLevelPredictor(int width,
+                                     const PredictorParams& params)
+    : params_(params), extractor_(width, params.includeOutputBits) {}
+
+void BitLevelPredictor::fit(const Trace& trainTrace) {
+  if (trainTrace.size() < 2) {
+    throw std::invalid_argument(
+        "BitLevelPredictor::fit: need at least two records");
+  }
+  const int bits = extractor_.outputBitCount();
+  forests_.clear();
+  treesOnly_.clear();
+  majorities_.clear();
+
+  std::vector<std::uint8_t> row(extractor_.featureCount());
+  for (int bit = 0; bit < bits; ++bit) {
+    ml::Dataset data(extractor_.featureCount());
+    data.reserve(trainTrace.size() - 1);
+    for (std::size_t t = 1; t < trainTrace.size(); ++t) {
+      extractor_.extract(trainTrace[t - 1], trainTrace[t], bit, row);
+      data.addRow(row, FeatureExtractor::timingErroneous(
+                           trainTrace[t], bit, extractor_.width()));
+    }
+    const std::uint64_t seed =
+        params_.seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(bit + 1);
+    switch (params_.model) {
+      case ModelKind::RandomForest: {
+        ml::RandomForest forest;
+        forest.fit(data, params_.forest, seed);
+        forests_.push_back(std::move(forest));
+        break;
+      }
+      case ModelKind::DecisionTree: {
+        ml::DecisionTree tree;
+        tree.fit(data, params_.tree, seed);
+        treesOnly_.push_back(std::move(tree));
+        break;
+      }
+      case ModelKind::Majority: {
+        ml::MajorityClassifier majority;
+        majority.fit(data);
+        majorities_.push_back(std::move(majority));
+        break;
+      }
+    }
+  }
+  trained_ = true;
+}
+
+bool BitLevelPredictor::predictBit(std::span<const std::uint8_t> features,
+                                   int bit) const {
+  const auto idx = static_cast<std::size_t>(bit);
+  switch (params_.model) {
+    case ModelKind::RandomForest: return forests_[idx].predict(features);
+    case ModelKind::DecisionTree: return treesOnly_[idx].predict(features);
+    case ModelKind::Majority: return majorities_[idx].predict(features);
+  }
+  return false;
+}
+
+std::vector<double> BitLevelPredictor::featureImportance() const {
+  std::vector<double> total(extractor_.featureCount(), 0.0);
+  if (!trained_) return total;
+  double mass = 0.0;
+  auto accumulate = [&](const std::vector<double>& one) {
+    for (std::size_t i = 0; i < total.size(); ++i) total[i] += one[i];
+    mass += 1.0;
+  };
+  for (const auto& forest : forests_) {
+    accumulate(ml::featureImportance(forest, total.size()));
+  }
+  for (const auto& tree : treesOnly_) {
+    accumulate(ml::featureImportance(tree, total.size()));
+  }
+  double sum = 0.0;
+  for (const double v : total) sum += v;
+  if (sum > 0.0) {
+    for (double& v : total) v /= sum;
+  }
+  return total;
+}
+
+void BitLevelPredictor::save(std::ostream& os) const {
+  if (!trained_ || params_.model != ModelKind::RandomForest) {
+    throw std::logic_error(
+        "BitLevelPredictor::save: only trained RandomForest banks persist");
+  }
+  os << "bitpredictor " << extractor_.width() << ' '
+     << (params_.includeOutputBits ? 1 : 0) << ' ' << forests_.size()
+     << "\n";
+  for (const ml::RandomForest& forest : forests_) {
+    ml::saveForest(forest, os);
+  }
+}
+
+BitLevelPredictor BitLevelPredictor::load(std::istream& is) {
+  std::string tag;
+  int width = 0;
+  int includeOutputBits = 0;
+  std::size_t banks = 0;
+  if (!(is >> tag >> width >> includeOutputBits >> banks) ||
+      tag != "bitpredictor") {
+    throw std::runtime_error("BitLevelPredictor::load: bad header");
+  }
+  PredictorParams params;
+  params.model = ModelKind::RandomForest;
+  params.includeOutputBits = includeOutputBits != 0;
+  BitLevelPredictor predictor(width, params);
+  if (banks != static_cast<std::size_t>(width) + 1) {
+    throw std::runtime_error("BitLevelPredictor::load: bank count mismatch");
+  }
+  predictor.forests_.reserve(banks);
+  for (std::size_t i = 0; i < banks; ++i) {
+    predictor.forests_.push_back(ml::loadForest(is));
+  }
+  predictor.trained_ = true;
+  return predictor;
+}
+
+PredictedFlips BitLevelPredictor::predictFlips(
+    const TraceRecord& previous, const TraceRecord& current) const {
+  if (!trained_) {
+    throw std::logic_error("BitLevelPredictor: predict before fit");
+  }
+  PredictedFlips flips;
+  std::vector<std::uint8_t> row(extractor_.featureCount());
+  const int width = extractor_.width();
+  for (int bit = 0; bit <= width; ++bit) {
+    extractor_.extract(previous, current, bit, row);
+    if (!predictBit(row, bit)) continue;
+    if (bit == width) {
+      flips.coutFlip = true;
+    } else {
+      flips.sumFlips |= std::uint64_t{1} << bit;
+    }
+  }
+  return flips;
+}
+
+PredictorEvaluation BitLevelPredictor::evaluate(const Trace& testTrace) const {
+  if (!trained_) {
+    throw std::logic_error("BitLevelPredictor: evaluate before fit");
+  }
+  if (testTrace.size() < 2) {
+    throw std::invalid_argument(
+        "BitLevelPredictor::evaluate: need at least two records");
+  }
+  const int width = extractor_.width();
+  const int bits = extractor_.outputBitCount();
+  PredictorEvaluation eval;
+  std::vector<std::uint64_t> wrong(static_cast<std::size_t>(bits), 0);
+
+  double avpeSum = 0.0;
+  for (std::size_t t = 1; t < testTrace.size(); ++t) {
+    const TraceRecord& prev = testTrace[t - 1];
+    const TraceRecord& cur = testTrace[t];
+    const PredictedFlips flips = predictFlips(prev, cur);
+    // Bit-level accuracy (ABPER numerator).
+    for (int bit = 0; bit < bits; ++bit) {
+      const bool predicted =
+          bit == width ? flips.coutFlip
+                       : ((flips.sumFlips >> bit) & 1u) != 0;
+      const bool real = FeatureExtractor::timingErroneous(cur, bit, width);
+      if (predicted != real) ++wrong[static_cast<std::size_t>(bit)];
+    }
+    // Value-level accuracy (AVPE): deduce predicted y_silver from y_gold,
+    // over full composed output values (sum plus carry-out).
+    const bool predictedCout = cur.goldCout != flips.coutFlip;
+    const std::uint64_t predictedSilver =
+        flips.predictedSilver(cur.gold) |
+        (static_cast<std::uint64_t>(predictedCout ? 1 : 0) << width);
+    const std::uint64_t realSilver = cur.silverValue(width);
+    if (realSilver == 0) {
+      ++eval.avpeSkipped;
+    } else {
+      const double diff = std::abs(static_cast<double>(predictedSilver) -
+                                   static_cast<double>(realSilver));
+      avpeSum += diff / static_cast<double>(realSilver);
+    }
+    ++eval.cycles;
+  }
+
+  eval.perBitErrorRate.resize(static_cast<std::size_t>(bits));
+  double abperSum = 0.0;
+  for (int bit = 0; bit < bits; ++bit) {
+    const double rate = static_cast<double>(wrong[static_cast<std::size_t>(bit)]) /
+                        static_cast<double>(eval.cycles);
+    eval.perBitErrorRate[static_cast<std::size_t>(bit)] = rate;
+    abperSum += rate;
+  }
+  eval.abper = abperSum / static_cast<double>(bits);
+  const std::uint64_t avpeCycles = eval.cycles - eval.avpeSkipped;
+  eval.avpe = avpeCycles ? avpeSum / static_cast<double>(avpeCycles) : 0.0;
+  return eval;
+}
+
+}  // namespace oisa::predict

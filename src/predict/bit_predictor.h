@@ -1,0 +1,109 @@
+// oisa_predict: the paper's bit-level timing-error prediction model.
+//
+// One binary classifier per output bit (32 sum bits + carry-out for the
+// 32-bit adders) predicts whether that bit is timing-erroneous at a given
+// overclocked period, from {x[t], x[t-1], yRTL_n[t-1], yRTL_n[t]}. The
+// model never emits arithmetic values directly: it predicts a timing-class
+// vector (bit-flip positions) and deduces the predicted y_silver from
+// y_gold (Sec. IV-B).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/random_forest.h"
+#include "predict/features.h"
+#include "predict/trace.h"
+
+namespace oisa::predict {
+
+/// Model family for the per-bit classifiers (ablation bench).
+enum class ModelKind : std::uint8_t {
+  RandomForest,  ///< the paper's choice
+  DecisionTree,  ///< single CART tree
+  Majority,      ///< constant baseline
+};
+
+/// Training controls.
+struct PredictorParams {
+  ModelKind model = ModelKind::RandomForest;
+  ml::ForestParams forest{};   ///< used when model == RandomForest
+  ml::TreeParams tree{};       ///< used when model == DecisionTree
+  bool includeOutputBits = true;  ///< feature ablation switch
+  std::uint64_t seed = 1;
+};
+
+/// Prediction for one cycle: flip mask over sum bits plus carry-out flip.
+struct PredictedFlips {
+  std::uint64_t sumFlips = 0;  ///< bit n set = sum bit n predicted erroneous
+  bool coutFlip = false;
+
+  [[nodiscard]] std::uint64_t predictedSilver(
+      std::uint64_t gold) const noexcept {
+    return gold ^ sumFlips;
+  }
+};
+
+/// Evaluation result over a test trace.
+struct PredictorEvaluation {
+  double abper = 0.0;  ///< average bit-level prediction error rate (eq. 1)
+  double avpe = 0.0;   ///< average value-level predictive error (eq. 4)
+  std::uint64_t cycles = 0;
+  std::uint64_t avpeSkipped = 0;  ///< cycles with real y_silver == 0
+  /// Per-bit misprediction rates (LSB-first, carry-out last).
+  std::vector<double> perBitErrorRate;
+};
+
+/// Per-output-bit timing-error classifier bank.
+class BitLevelPredictor {
+ public:
+  /// `width` — adder width (output bits = width + 1 including carry-out).
+  explicit BitLevelPredictor(int width, const PredictorParams& params = {});
+
+  /// Trains every per-bit classifier on consecutive record pairs of the
+  /// training trace (records 1..n-1 each paired with their predecessor).
+  void fit(const Trace& trainTrace);
+
+  /// Predicts the timing-class vector for the cycle `current` given the
+  /// preceding record.
+  [[nodiscard]] PredictedFlips predictFlips(const TraceRecord& previous,
+                                            const TraceRecord& current) const;
+
+  /// Runs the model over a test trace and computes ABPER / AVPE.
+  [[nodiscard]] PredictorEvaluation evaluate(const Trace& testTrace) const;
+
+  [[nodiscard]] int width() const noexcept { return extractor_.width(); }
+  [[nodiscard]] const FeatureExtractor& extractor() const noexcept {
+    return extractor_;
+  }
+  [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+  /// Aggregate feature importance across all per-bit models (RandomForest
+  /// and DecisionTree kinds; all-zero for Majority). Normalized to sum 1.
+  [[nodiscard]] std::vector<double> featureImportance() const;
+
+  /// Persists a trained RandomForest-kind predictor (text format).
+  /// Throws std::logic_error for other model kinds or untrained banks.
+  void save(std::ostream& os) const;
+
+  /// Reloads a predictor saved with save().
+  [[nodiscard]] static BitLevelPredictor load(std::istream& is);
+
+ private:
+  [[nodiscard]] bool predictBit(std::span<const std::uint8_t> features,
+                                int bit) const;
+
+  PredictorParams params_;
+  FeatureExtractor extractor_;
+  // One model per output bit; exactly one of these is populated per bit
+  // depending on params_.model.
+  std::vector<ml::RandomForest> forests_;
+  std::vector<ml::DecisionTree> treesOnly_;
+  std::vector<ml::MajorityClassifier> majorities_;
+  bool trained_ = false;
+};
+
+}  // namespace oisa::predict

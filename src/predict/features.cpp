@@ -1,0 +1,76 @@
+#include "predict/features.h"
+
+#include <stdexcept>
+
+namespace oisa::predict {
+
+FeatureExtractor::FeatureExtractor(int width, bool includeOutputBits)
+    : width_(width), includeOutputBits_(includeOutputBits) {
+  if (width < 1 || width > 63) {
+    throw std::invalid_argument("FeatureExtractor: width must be 1..63");
+  }
+  const std::size_t perCycle = 2 * static_cast<std::size_t>(width) + 1;
+  featureCount_ = 2 * perCycle + (includeOutputBits ? 2 : 0);
+}
+
+void FeatureExtractor::extract(const TraceRecord& previous,
+                               const TraceRecord& current, int bit,
+                               std::span<std::uint8_t> out) const {
+  if (out.size() != featureCount_) {
+    throw std::invalid_argument("FeatureExtractor: bad output span size");
+  }
+  const auto w = static_cast<std::size_t>(width_);
+  std::size_t k = 0;
+  auto emitCycle = [&](const TraceRecord& rec) {
+    for (std::size_t i = 0; i < w; ++i) {
+      out[k++] = static_cast<std::uint8_t>((rec.a >> i) & 1u);
+    }
+    for (std::size_t i = 0; i < w; ++i) {
+      out[k++] = static_cast<std::uint8_t>((rec.b >> i) & 1u);
+    }
+    out[k++] = rec.carryIn ? 1 : 0;
+  };
+  emitCycle(current);
+  emitCycle(previous);
+  if (includeOutputBits_) {
+    out[k++] = goldBit(previous, bit, width_) ? 1 : 0;
+    out[k++] = goldBit(current, bit, width_) ? 1 : 0;
+  }
+}
+
+std::vector<std::uint8_t> FeatureExtractor::extract(
+    const TraceRecord& previous, const TraceRecord& current, int bit) const {
+  std::vector<std::uint8_t> out(featureCount_);
+  extract(previous, current, bit, out);
+  return out;
+}
+
+std::string FeatureExtractor::featureName(std::size_t index) const {
+  if (index >= featureCount_) {
+    throw std::invalid_argument("FeatureExtractor::featureName: bad index");
+  }
+  const auto w = static_cast<std::size_t>(width_);
+  const std::size_t perCycle = 2 * w + 1;
+  const char* suffix = index < perCycle ? "[t]" : "[t-1]";
+  std::size_t k = index % perCycle;
+  if (index >= 2 * perCycle) {
+    return index == 2 * perCycle ? "yRTL_n[t-1]" : "yRTL_n[t]";
+  }
+  if (k < w) return "a" + std::to_string(k) + suffix;
+  if (k < 2 * w) return "b" + std::to_string(k - w) + suffix;
+  return std::string("cin") + suffix;
+}
+
+bool FeatureExtractor::goldBit(const TraceRecord& rec, int bit,
+                               int width) noexcept {
+  if (bit == width) return rec.goldCout;
+  return ((rec.gold >> bit) & 1u) != 0;
+}
+
+bool FeatureExtractor::silverBit(const TraceRecord& rec, int bit,
+                                 int width) noexcept {
+  if (bit == width) return rec.silverCout;
+  return ((rec.silver >> bit) & 1u) != 0;
+}
+
+}  // namespace oisa::predict

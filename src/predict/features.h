@@ -1,0 +1,68 @@
+// oisa_predict: feature extraction for bit-level timing-error prediction.
+//
+// Per the paper (Sec. III-A), the feature vector of output bit n at cycle t
+// is { x[t], x[t-1], yRTL_n[t-1], yRTL_n[t] }: the output is jointly
+// determined by the current and preceding input vectors, and a latched
+// timing error requires the two consecutive RTL output bits to differ.
+// Layout (width = W):
+//   [0,W)      a[t] bits       [W,2W)     b[t] bits      [2W]    cin[t]
+//   [2W+1,3W+1) a[t-1] bits    [3W+1,4W+1) b[t-1] bits   [4W+1]  cin[t-1]
+//   [4W+2]     yRTL_n[t-1]     [4W+3]     yRTL_n[t]
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "predict/trace.h"
+
+namespace oisa::predict {
+
+/// Extracts per-bit feature vectors from consecutive trace records.
+class FeatureExtractor {
+ public:
+  /// `width` — adder width W; output bits 0..W-1 are sum bits, bit W is the
+  /// carry-out. `includeOutputBits` — ablation switch for the
+  /// {yRTL[t-1], yRTL[t]} features.
+  explicit FeatureExtractor(int width, bool includeOutputBits = true);
+
+  [[nodiscard]] std::size_t featureCount() const noexcept {
+    return featureCount_;
+  }
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int outputBitCount() const noexcept { return width_ + 1; }
+
+  /// Fills `out` (featureCount() entries) for output bit `bit` at the cycle
+  /// described by `current`, with `previous` the preceding cycle's record.
+  void extract(const TraceRecord& previous, const TraceRecord& current,
+               int bit, std::span<std::uint8_t> out) const;
+
+  /// Convenience allocating overload.
+  [[nodiscard]] std::vector<std::uint8_t> extract(
+      const TraceRecord& previous, const TraceRecord& current,
+      int bit) const;
+
+  /// Human-readable name of feature `index` ("a3[t]", "cin[t-1]",
+  /// "yRTL_n[t]", ...), for importance reports.
+  [[nodiscard]] std::string featureName(std::size_t index) const;
+
+  /// The golden (RTL) value of output bit `bit` in `rec` (sum or carry).
+  [[nodiscard]] static bool goldBit(const TraceRecord& rec, int bit,
+                                    int width) noexcept;
+  /// The silver (overclocked) value of output bit `bit`.
+  [[nodiscard]] static bool silverBit(const TraceRecord& rec, int bit,
+                                      int width) noexcept;
+  /// Timing class of output bit `bit`: true = timing-erroneous.
+  [[nodiscard]] static bool timingErroneous(const TraceRecord& rec, int bit,
+                                            int width) noexcept {
+    return goldBit(rec, bit, width) != silverBit(rec, bit, width);
+  }
+
+ private:
+  int width_;
+  bool includeOutputBits_;
+  std::size_t featureCount_;
+};
+
+}  // namespace oisa::predict

@@ -1,0 +1,50 @@
+// oisa_predict: per-cycle trace records of an overclocked circuit.
+//
+// One record captures everything the paper's data-collection step needs at
+// a cycle: the input vector x[t], the pure-RTL output yRTL[t] (here: the
+// behavioral ISA output, i.e. y_gold), and the gate-level sampled output
+// y[t] (y_silver) at the overclocked period. The exact sum y_diamond is
+// also carried for the error-combination study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace oisa::predict {
+
+/// One clock cycle of stimulus and responses.
+struct TraceRecord {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  bool carryIn = false;
+  std::uint64_t diamond = 0;      ///< exact sum bits
+  bool diamondCout = false;
+  std::uint64_t gold = 0;         ///< behavioral/RTL inexact sum bits
+  bool goldCout = false;
+  std::uint64_t silver = 0;       ///< gate-level overclocked sampled sum bits
+  bool silverCout = false;
+
+  /// Full unsigned output values (carry-out composed above the sum bits);
+  /// the paper's arithmetic metrics operate on these. At width 64 the
+  /// carry-out does not fit in the composed word and is dropped.
+  [[nodiscard]] std::uint64_t diamondValue(int width) const noexcept {
+    return compose(diamond, diamondCout, width);
+  }
+  [[nodiscard]] std::uint64_t goldValue(int width) const noexcept {
+    return compose(gold, goldCout, width);
+  }
+  [[nodiscard]] std::uint64_t silverValue(int width) const noexcept {
+    return compose(silver, silverCout, width);
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t compose(std::uint64_t sum, bool cout,
+                                             int width) noexcept {
+    if (width >= 64) return sum;
+    return sum | (static_cast<std::uint64_t>(cout ? 1 : 0) << width);
+  }
+};
+
+using Trace = std::vector<TraceRecord>;
+
+}  // namespace oisa::predict

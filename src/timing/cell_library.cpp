@@ -1,0 +1,33 @@
+#include "timing/cell_library.h"
+
+namespace oisa::timing {
+
+CellLibrary CellLibrary::generic65() {
+  using netlist::GateKind;
+  CellLibrary lib;
+  auto set = [&lib](GateKind k, double intrinsic, double perFanout,
+                    double area) {
+    lib.cell(k) = CellTiming{intrinsic, perFanout, area};
+  };
+  // Delays in ns, calibrated so a 32-bit Sklansky adder sits just below the
+  // paper's 0.3 ns (3.3 GHz) constraint; areas in NAND2-equivalents.
+  set(GateKind::Const0, 0.000, 0.0000, 0.0);
+  set(GateKind::Const1, 0.000, 0.0000, 0.0);
+  set(GateKind::Buf, 0.014, 0.0015, 1.0);
+  set(GateKind::Inv, 0.011, 0.0015, 0.5);
+  set(GateKind::And2, 0.021, 0.0020, 1.5);
+  set(GateKind::Or2, 0.021, 0.0020, 1.5);
+  set(GateKind::Nand2, 0.016, 0.0020, 1.0);
+  set(GateKind::Nor2, 0.016, 0.0020, 1.0);
+  set(GateKind::Xor2, 0.029, 0.0025, 2.5);
+  set(GateKind::Xnor2, 0.029, 0.0025, 2.5);
+  set(GateKind::And3, 0.026, 0.0022, 2.0);
+  set(GateKind::Or3, 0.026, 0.0022, 2.0);
+  set(GateKind::Aoi21, 0.022, 0.0022, 1.5);
+  set(GateKind::Oai21, 0.022, 0.0022, 1.5);
+  set(GateKind::Mux2, 0.024, 0.0025, 2.0);
+  set(GateKind::Maj3, 0.025, 0.0020, 2.5);
+  return lib;
+}
+
+}  // namespace oisa::timing

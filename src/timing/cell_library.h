@@ -1,0 +1,49 @@
+// oisa_timing: technology-style cell characterization.
+//
+// Stand-in for the paper's industrial 65 nm library: every gate kind gets an
+// intrinsic propagation delay, a per-fanout load penalty and an area cost.
+// The `generic65()` values are calibrated (and locked by a test) so that a
+// 32-bit parallel-prefix adder lands just under the paper's 0.3 ns
+// constraint and the ISA designs order by path depth exactly as the paper's
+// synthesized circuits do.
+#pragma once
+
+#include <array>
+
+#include "netlist/gate.h"
+
+namespace oisa::timing {
+
+/// Timing/area characterization of one cell kind.
+struct CellTiming {
+  double intrinsicNs = 0.0;   ///< propagation delay at fanout 1
+  double perFanoutNs = 0.0;   ///< extra delay per additional fanout load
+  double area = 0.0;          ///< area cost in NAND2-equivalents
+};
+
+/// Per-kind cell characterization table.
+class CellLibrary {
+ public:
+  [[nodiscard]] const CellTiming& cell(netlist::GateKind kind) const noexcept {
+    return cells_[static_cast<std::size_t>(kind)];
+  }
+  CellTiming& cell(netlist::GateKind kind) noexcept {
+    return cells_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Delay of one instance of `kind` driving `fanout` loads.
+  [[nodiscard]] double delayNs(netlist::GateKind kind,
+                               unsigned fanout) const noexcept {
+    const CellTiming& t = cell(kind);
+    const unsigned extra = fanout > 1 ? fanout - 1 : 0;
+    return t.intrinsicNs + t.perFanoutNs * static_cast<double>(extra);
+  }
+
+  /// Calibrated generic library standing in for the paper's 65 nm node.
+  [[nodiscard]] static CellLibrary generic65();
+
+ private:
+  std::array<CellTiming, netlist::kGateKindCount> cells_{};
+};
+
+}  // namespace oisa::timing

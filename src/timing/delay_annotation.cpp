@@ -1,0 +1,25 @@
+#include "timing/delay_annotation.h"
+
+#include <algorithm>
+
+namespace oisa::timing {
+
+DelayAnnotation::DelayAnnotation(const netlist::Netlist& nl,
+                                 const CellLibrary& lib) {
+  const auto fanout = nl.fanoutCounts();
+  delays_.resize(nl.gateCount());
+  for (std::uint32_t gi = 0; gi < nl.gateCount(); ++gi) {
+    const netlist::Gate& g = nl.gateAt(netlist::GateId{gi});
+    delays_[gi] = lib.delayNs(g.kind, fanout[g.out.value]);
+  }
+}
+
+void DelayAnnotation::applyVariation(std::mt19937_64& rng, double sigma,
+                                     double floorFactor) {
+  std::normal_distribution<double> dist(0.0, sigma);
+  for (double& d : delays_) {
+    d *= std::max(floorFactor, 1.0 + dist(rng));
+  }
+}
+
+}  // namespace oisa::timing

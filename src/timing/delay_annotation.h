@@ -1,0 +1,50 @@
+// oisa_timing: per-instance delay annotation (the repo's SDF analogue).
+//
+// An annotation freezes one delay per gate instance, derived from the cell
+// library and the instance's fanout load. Synthesis-style passes
+// (slack relaxation, process-variation jitter) then edit the per-instance
+// values, exactly like back-annotating an SDF file after sizing or at a
+// different PVT corner.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "timing/cell_library.h"
+
+namespace oisa::timing {
+
+/// Per-gate-instance propagation delays for one netlist.
+class DelayAnnotation {
+ public:
+  /// Derives delays from the library and each instance's fanout load.
+  DelayAnnotation(const netlist::Netlist& nl, const CellLibrary& lib);
+
+  [[nodiscard]] double delayNs(netlist::GateId gate) const {
+    return delays_.at(gate.value);
+  }
+  void setDelayNs(netlist::GateId gate, double ns) {
+    delays_.at(gate.value) = ns;
+  }
+
+  /// Multiplies one instance's delay (used by sizing passes).
+  void scale(netlist::GateId gate, double factor) {
+    delays_.at(gate.value) *= factor;
+  }
+
+  /// Applies multiplicative Gaussian process-variation jitter
+  /// (factor = max(floor, 1 + N(0, sigma))) to every instance.
+  void applyVariation(std::mt19937_64& rng, double sigma,
+                      double floorFactor = 0.5);
+
+  [[nodiscard]] std::size_t gateCount() const noexcept {
+    return delays_.size();
+  }
+
+ private:
+  std::vector<double> delays_;
+};
+
+}  // namespace oisa::timing

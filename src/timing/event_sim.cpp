@@ -1,0 +1,132 @@
+#include "timing/event_sim.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netlist/evaluator.h"
+
+namespace oisa::timing {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::Netlist;
+using netlist::NetId;
+
+TimedSimulator::TimedSimulator(const Netlist& nl,
+                               const DelayAnnotation& delays)
+    : nl_(nl), delays_(delays), fanout_(nl.fanoutMap()) {
+  if (delays.gateCount() != nl.gateCount()) {
+    throw std::invalid_argument(
+        "TimedSimulator: annotation does not match netlist");
+  }
+  reset();
+}
+
+void TimedSimulator::reset() {
+  // The consistent "powered-up and settled with all inputs low" state: a
+  // zero-delay evaluation with all primary inputs at 0 (this also assigns
+  // constant nets their value).
+  const netlist::Evaluator eval(nl_);
+  std::vector<std::uint8_t> zeros(nl_.primaryInputs().size(), 0);
+  values_ = eval.evaluate(zeros);
+  heap_.clear();
+  now_ = 0.0;
+  seq_ = 0;
+  eventCount_ = 0;
+  lastScheduled_ = values_;
+}
+
+void TimedSimulator::applyInputs(std::span<const std::uint8_t> inputValues) {
+  const auto pis = nl_.primaryInputs();
+  if (inputValues.size() != pis.size()) {
+    throw std::invalid_argument("TimedSimulator: wrong input vector size");
+  }
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    const std::uint8_t v = inputValues[i] ? 1 : 0;
+    if (values_[pis[i].value] != v) {
+      values_[pis[i].value] = v;
+      lastScheduled_[pis[i].value] = v;
+      if (observer_) observer_(now_, pis[i], v != 0);
+      scheduleReaders(pis[i], now_);
+    }
+  }
+}
+
+void TimedSimulator::scheduleReaders(NetId net, double atTime) {
+  for (GateId reader : fanout_[net.value]) {
+    const Gate& g = nl_.gateAt(reader);
+    const auto ins = g.inputs();
+    const bool a = !ins.empty() && values_[ins[0].value] != 0;
+    const bool b = ins.size() > 1 && values_[ins[1].value] != 0;
+    const bool c = ins.size() > 2 && values_[ins[2].value] != 0;
+    const std::uint8_t out = evalGate(g.kind, a, b, c) ? 1 : 0;
+    // Every net has a single driver with a fixed transport delay, so events
+    // for a net are always pushed in non-decreasing time order; scheduling
+    // a value equal to the last scheduled one would be a no-op at pop time.
+    if (lastScheduled_[g.out.value] == out) continue;
+    lastScheduled_[g.out.value] = out;
+    heap_.push_back(Event{atTime + delays_.delayNs(reader), g.out.value, out,
+                          seq_++});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+}
+
+void TimedSimulator::runUntil(double horizon) {
+  while (!heap_.empty() && heap_.front().time < horizon) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Event e = heap_.back();
+    heap_.pop_back();
+    if (values_[e.net] == e.value) continue;
+    values_[e.net] = e.value;
+    ++eventCount_;
+    if (observer_) observer_(e.time, NetId{e.net}, e.value != 0);
+    scheduleReaders(NetId{e.net}, e.time);
+  }
+}
+
+void TimedSimulator::advance(double deltaNs) {
+  const double horizon = now_ + deltaNs;
+  runUntil(horizon);
+  now_ = horizon;
+}
+
+double TimedSimulator::settle() {
+  double last = now_;
+  while (!heap_.empty()) {
+    last = std::max(last, heap_.front().time);
+    runUntil(heap_.front().time + 1e-12);
+  }
+  now_ = std::max(now_, last);
+  return last;
+}
+
+std::vector<std::uint8_t> TimedSimulator::sampleOutputs() const {
+  const auto pos = nl_.primaryOutputs();
+  std::vector<std::uint8_t> out(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    out[i] = values_[pos[i].value];
+  }
+  return out;
+}
+
+ClockedSampler::ClockedSampler(const Netlist& nl,
+                               const DelayAnnotation& delays, double periodNs)
+    : sim_(nl, delays), periodNs_(periodNs) {
+  if (periodNs <= 0.0) {
+    throw std::invalid_argument("ClockedSampler: period must be positive");
+  }
+}
+
+void ClockedSampler::initialize(std::span<const std::uint8_t> inputValues) {
+  sim_.applyInputs(inputValues);
+  sim_.settle();
+}
+
+std::vector<std::uint8_t> ClockedSampler::step(
+    std::span<const std::uint8_t> inputValues) {
+  sim_.applyInputs(inputValues);
+  sim_.advance(periodNs_);
+  return sim_.sampleOutputs();
+}
+
+}  // namespace oisa::timing

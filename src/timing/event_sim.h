@@ -1,0 +1,126 @@
+// oisa_timing: event-driven timed gate-level simulation.
+//
+// The repo's analogue of the paper's SDF-annotated ModelSim runs. Gates
+// have transport delays from a DelayAnnotation; input vectors are applied
+// at clock edges; outputs are latched at the next edge, whether or not the
+// combinational cloud has settled. An output whose cone has not settled at
+// the edge latches whatever value the net holds at that instant — exactly
+// the overclocking timing-error mechanism studied by the paper, including
+// its dependence on the previous cycle's state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "timing/delay_annotation.h"
+
+namespace oisa::timing {
+
+/// Continuous-time event-driven simulator over one netlist.
+///
+/// Typical use goes through ClockedSampler; the raw interface is exposed
+/// for tests and custom experiments.
+class TimedSimulator {
+ public:
+  TimedSimulator(const netlist::Netlist& nl, const DelayAnnotation& delays);
+
+  /// Applies primary-input values at the current simulation time.
+  void applyInputs(std::span<const std::uint8_t> inputValues);
+
+  /// Advances simulation, processing all events strictly before
+  /// `currentTime + deltaNs`, then sets current time to that instant.
+  void advance(double deltaNs);
+
+  /// Processes every pending event (unbounded settle). Returns the
+  /// timestamp of the last processed event relative to the call.
+  double settle();
+
+  /// Current value of each primary output, in declaration order.
+  [[nodiscard]] std::vector<std::uint8_t> sampleOutputs() const;
+
+  /// Current value of an arbitrary net.
+  [[nodiscard]] bool netValue(netlist::NetId net) const {
+    return values_.at(net.value) != 0;
+  }
+
+  [[nodiscard]] double nowNs() const noexcept { return now_; }
+
+  /// Number of events processed since construction (perf counter).
+  [[nodiscard]] std::uint64_t eventsProcessed() const noexcept {
+    return eventCount_;
+  }
+
+  /// Resets to the all-undefined (zero) state at time 0 with no events.
+  void reset();
+
+  /// All current net values, indexed by NetId (for waveform observers).
+  [[nodiscard]] const std::vector<std::uint8_t>& netValues() const noexcept {
+    return values_;
+  }
+
+  /// Observer invoked on every committed net change (including input
+  /// applications): (timeNs, net, newValue). Pass nullptr to disable.
+  /// Intended for waveform dumping; adds per-event overhead when set.
+  void setChangeObserver(
+      std::function<void(double, netlist::NetId, bool)> observer) {
+    observer_ = std::move(observer);
+  }
+
+ private:
+  struct Event {
+    double time;
+    std::uint32_t net;
+    std::uint8_t value;
+    std::uint64_t seq;  ///< tie-breaker: same-time events apply in schedule order
+
+    [[nodiscard]] bool operator>(const Event& o) const noexcept {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void scheduleReaders(netlist::NetId net, double atTime);
+  void runUntil(double horizon);  // processes events with time < horizon
+
+  const netlist::Netlist& nl_;
+  const DelayAnnotation& delays_;
+  std::vector<std::vector<netlist::GateId>> fanout_;
+  std::vector<std::uint8_t> values_;        // indexed by NetId
+  std::vector<std::uint8_t> lastScheduled_; // last scheduled value per net
+  std::vector<Event> heap_;                 // min-heap on (time, seq)
+  double now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t eventCount_ = 0;
+  std::function<void(double, netlist::NetId, bool)> observer_;
+};
+
+/// Drives a TimedSimulator like a clocked register stage: one input vector
+/// per cycle, outputs latched one period later. In-flight events survive
+/// across edges, so a too-short period exhibits history-dependent timing
+/// errors exactly like hardware.
+class ClockedSampler {
+ public:
+  /// `periodNs` — the (possibly overclocked) clock period.
+  ClockedSampler(const netlist::Netlist& nl, const DelayAnnotation& delays,
+                 double periodNs);
+
+  /// Settles the circuit on an initial vector (reset cycle; no sampling).
+  void initialize(std::span<const std::uint8_t> inputValues);
+
+  /// Applies the cycle's inputs, advances one period, and returns the
+  /// latched primary-output values.
+  [[nodiscard]] std::vector<std::uint8_t> step(
+      std::span<const std::uint8_t> inputValues);
+
+  [[nodiscard]] double periodNs() const noexcept { return periodNs_; }
+  [[nodiscard]] TimedSimulator& simulator() noexcept { return sim_; }
+
+ private:
+  TimedSimulator sim_;
+  double periodNs_;
+};
+
+}  // namespace oisa::timing

@@ -1,0 +1,63 @@
+// oisa_timing: activity-based power and energy estimation.
+//
+// The paper's premise is energy efficiency: speculative architectures relax
+// timing *and energy* constraints. This module estimates per-design power
+// from real switching activity: the event-driven simulator counts every net
+// toggle under a workload, each toggle is charged the cell's switching
+// energy (scaled by fanout load), and leakage is charged per cell area.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "timing/cell_library.h"
+#include "timing/delay_annotation.h"
+
+namespace oisa::timing {
+
+/// Per-cell-kind energy characterization.
+struct CellPower {
+  double switchingFj = 0.0;   ///< energy per output toggle at fanout 1 (fJ)
+  double perFanoutFj = 0.0;   ///< extra per additional fanout load
+  double leakageNw = 0.0;     ///< static leakage (nW)
+};
+
+/// Per-kind power table (companion of CellLibrary).
+class PowerLibrary {
+ public:
+  [[nodiscard]] const CellPower& cell(netlist::GateKind kind) const noexcept {
+    return cells_[static_cast<std::size_t>(kind)];
+  }
+  CellPower& cell(netlist::GateKind kind) noexcept {
+    return cells_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Energy values matching the generic65 timing library.
+  [[nodiscard]] static PowerLibrary generic65();
+
+ private:
+  std::array<CellPower, netlist::kGateKindCount> cells_{};
+};
+
+/// Result of a power measurement run.
+struct PowerReport {
+  std::uint64_t cycles = 0;
+  std::uint64_t toggles = 0;        ///< committed net changes
+  double dynamicEnergyFj = 0.0;     ///< total switching energy
+  double energyPerOpFj = 0.0;       ///< dynamic energy / cycles
+  double dynamicPowerUw = 0.0;      ///< at the given clock period
+  double leakagePowerUw = 0.0;
+  double totalPowerUw = 0.0;
+  double meanTogglesPerCycle = 0.0;
+};
+
+/// Simulates `stimuli` through the netlist at `periodNs` (first vector is
+/// the settled reset, not billed) and charges switching + leakage energy.
+[[nodiscard]] PowerReport measurePower(
+    const netlist::Netlist& nl, const DelayAnnotation& delays,
+    const PowerLibrary& power, double periodNs,
+    std::span<const std::vector<std::uint8_t>> stimuli);
+
+}  // namespace oisa::timing

@@ -1,0 +1,39 @@
+#include "timing/razor.h"
+
+#include <stdexcept>
+
+namespace oisa::timing {
+
+RazorSampler::RazorSampler(const netlist::Netlist& nl,
+                           const DelayAnnotation& delays, double periodNs,
+                           double shadowMarginNs,
+                           double recoveryPenaltyCycles)
+    : sim_(nl, delays),
+      periodNs_(periodNs),
+      shadowMarginNs_(shadowMarginNs),
+      recoveryPenaltyCycles_(recoveryPenaltyCycles) {
+  if (periodNs <= 0.0 || shadowMarginNs < 0.0 || recoveryPenaltyCycles < 0.0) {
+    throw std::invalid_argument("RazorSampler: bad parameters");
+  }
+}
+
+void RazorSampler::initialize(std::span<const std::uint8_t> inputValues) {
+  sim_.applyInputs(inputValues);
+  (void)sim_.settle();
+}
+
+RazorSampler::StepResult RazorSampler::step(
+    std::span<const std::uint8_t> inputValues) {
+  sim_.applyInputs(inputValues);
+  sim_.advance(periodNs_);
+  StepResult result;
+  result.main = sim_.sampleOutputs();
+  sim_.advance(shadowMarginNs_);
+  result.shadow = sim_.sampleOutputs();
+  result.detected = result.main != result.shadow;
+  ++cycles_;
+  if (result.detected) ++detections_;
+  return result;
+}
+
+}  // namespace oisa::timing

@@ -1,0 +1,87 @@
+#include "timing/vcd.h"
+
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace oisa::timing {
+
+namespace {
+
+/// Short printable VCD identifier for an observed-net index.
+std::string vcdId(std::uint32_t index) {
+  std::string id;
+  do {
+    id += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+}  // namespace
+
+VcdWriter VcdWriter::forPorts(const netlist::Netlist& nl) {
+  std::vector<netlist::NetId> nets(nl.primaryInputs().begin(),
+                                   nl.primaryInputs().end());
+  nets.insert(nets.end(), nl.primaryOutputs().begin(),
+              nl.primaryOutputs().end());
+  return VcdWriter(nl, std::move(nets));
+}
+
+VcdWriter::VcdWriter(const netlist::Netlist& nl,
+                     std::vector<netlist::NetId> nets)
+    : nl_(nl), nets_(std::move(nets)) {
+  observedIndex_.assign(nl.netCount(), -1);
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    if (!nets_[i].valid() || nets_[i].value >= nl.netCount()) {
+      throw std::invalid_argument("VcdWriter: invalid net");
+    }
+    observedIndex_[nets_[i].value] = static_cast<int>(i);
+  }
+  last_.assign(nets_.size(), -1);
+}
+
+void VcdWriter::sample(double timeNs,
+                       const std::vector<std::uint8_t>& netValues) {
+  if (netValues.size() != nl_.netCount()) {
+    throw std::invalid_argument("VcdWriter::sample: bad value vector");
+  }
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    record(timeNs, nets_[i], netValues[nets_[i].value] != 0);
+  }
+}
+
+void VcdWriter::record(double timeNs, netlist::NetId net, bool value) {
+  const int idx = observedIndex_.at(net.value);
+  if (idx < 0) return;  // not observed
+  if (last_[static_cast<std::size_t>(idx)] ==
+      static_cast<signed char>(value ? 1 : 0)) {
+    return;
+  }
+  last_[static_cast<std::size_t>(idx)] = value ? 1 : 0;
+  changes_.push_back(Change{
+      static_cast<std::uint64_t>(std::llround(timeNs * 1000.0)),
+      static_cast<std::uint32_t>(idx), value});
+}
+
+void VcdWriter::write(std::ostream& os) const {
+  os << "$date oisa $end\n$version oisa timed simulator $end\n"
+     << "$timescale 1ps $end\n$scope module "
+     << (nl_.name().empty() ? "top" : nl_.name()) << " $end\n";
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    os << "$var wire 1 " << vcdId(static_cast<std::uint32_t>(i)) << ' '
+       << nl_.net(nets_[i]).name << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::uint64_t lastTime = ~std::uint64_t{0};
+  for (const Change& change : changes_) {
+    if (change.timePs != lastTime) {
+      os << '#' << change.timePs << '\n';
+      lastTime = change.timePs;
+    }
+    os << (change.value ? '1' : '0') << vcdId(change.index) << '\n';
+  }
+}
+
+}  // namespace oisa::timing

@@ -1,0 +1,56 @@
+// oisa_timing: VCD (Value Change Dump) waveform recording.
+//
+// Records primary-port value changes of a TimedSimulator run into the
+// standard VCD format, so overclocked failures can be inspected in any
+// waveform viewer (GTKWave etc.). Time resolution is 1 ps (simulator times
+// are ns doubles).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace oisa::timing {
+
+/// Collects value changes for a chosen set of nets and writes a VCD file.
+class VcdWriter {
+ public:
+  /// Observes the primary inputs and outputs of `nl` (the usual choice for
+  /// debugging sampled values).
+  static VcdWriter forPorts(const netlist::Netlist& nl);
+
+  /// Observes an explicit set of nets.
+  VcdWriter(const netlist::Netlist& nl, std::vector<netlist::NetId> nets);
+
+  /// Records the value of every observed net at `timeNs` (values indexed by
+  /// NetId, as exposed by TimedSimulator::netValue). Only changes are kept.
+  void sample(double timeNs, const std::vector<std::uint8_t>& netValues);
+
+  /// Convenience: record one net change directly.
+  void record(double timeNs, netlist::NetId net, bool value);
+
+  /// Writes header + change stream.
+  void write(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t changeCount() const noexcept {
+    return changes_.size();
+  }
+
+ private:
+  struct Change {
+    std::uint64_t timePs;
+    std::uint32_t index;  ///< observed-net index
+    bool value;
+  };
+
+  const netlist::Netlist& nl_;
+  std::vector<netlist::NetId> nets_;
+  std::vector<int> observedIndex_;  ///< NetId -> observed index or -1
+  std::vector<signed char> last_;   ///< last recorded value (-1 unknown)
+  std::vector<Change> changes_;
+};
+
+}  // namespace oisa::timing

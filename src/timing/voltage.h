@@ -1,0 +1,46 @@
+// oisa_timing: supply-voltage scaling (the dual knob to overclocking).
+//
+// The paper's opening cites voltage-precision scaling as the circuit-level
+// approximation knob [1]: lowering Vdd at a fixed clock produces the same
+// late-arrival timing errors as shortening the clock at fixed Vdd. The
+// alpha-power-law delay model maps a supply voltage to a delay derating
+// factor, and dynamic energy scales with Vdd^2 — enabling
+// energy-vs-accuracy studies on the same simulation substrate.
+#pragma once
+
+#include "timing/cell_library.h"
+
+namespace oisa::timing {
+
+/// Alpha-power-law parameters (65 nm-flavored defaults).
+struct VoltageModel {
+  double nominalVdd = 1.2;   ///< library characterization voltage (V)
+  double threshold = 0.35;   ///< effective Vth (V)
+  double alpha = 1.5;        ///< velocity-saturation exponent
+};
+
+/// Delay derating factor at `vdd` relative to the nominal supply:
+/// delay(V) ∝ V / (V - Vth)^alpha. Returns 1.0 at the nominal voltage.
+/// Throws std::invalid_argument unless vdd > threshold.
+[[nodiscard]] double voltageDelayFactor(double vdd,
+                                        const VoltageModel& model = {});
+
+/// Dynamic-energy scaling factor at `vdd`: (V / Vnom)^2.
+[[nodiscard]] double voltageEnergyFactor(double vdd,
+                                         const VoltageModel& model = {});
+
+/// Returns `nominal` with every cell delay scaled to the given supply
+/// voltage (areas unchanged).
+[[nodiscard]] CellLibrary libraryAtVoltage(const CellLibrary& nominal,
+                                           double vdd,
+                                           const VoltageModel& model = {});
+
+/// The supply at which the circuit's critical delay equals `periodNs`,
+/// given its nominal-voltage critical delay — i.e. how far voltage can be
+/// over-scaled before worst-case timing fails (bisection on the monotone
+/// delay factor). Returns the voltage in volts.
+[[nodiscard]] double voltageForDelay(double nominalCriticalNs,
+                                     double periodNs,
+                                     const VoltageModel& model = {});
+
+}  // namespace oisa::timing

@@ -1,0 +1,56 @@
+// PVT corner and guardband tests.
+#include <gtest/gtest.h>
+
+#include "circuits/isa_netlist.h"
+#include "timing/corners.h"
+#include "timing/sta.h"
+
+namespace {
+
+using oisa::timing::analyzeGuardband;
+using oisa::timing::CellLibrary;
+using oisa::timing::Corner;
+using oisa::timing::cornerDeratingFactor;
+using oisa::timing::libraryAtCorner;
+
+TEST(CornerTest, DeratingFactorsAreOrdered) {
+  EXPECT_LT(cornerDeratingFactor(Corner::FastFast), 1.0);
+  EXPECT_DOUBLE_EQ(cornerDeratingFactor(Corner::TypicalTypical), 1.0);
+  EXPECT_GT(cornerDeratingFactor(Corner::SlowSlow), 1.0);
+}
+
+TEST(CornerTest, LibraryScalingPreservesArea) {
+  const CellLibrary nominal = CellLibrary::generic65();
+  const CellLibrary slow = libraryAtCorner(nominal, Corner::SlowSlow);
+  for (const auto kind : oisa::netlist::allGateKinds()) {
+    EXPECT_DOUBLE_EQ(slow.cell(kind).area, nominal.cell(kind).area);
+    EXPECT_NEAR(slow.cell(kind).intrinsicNs,
+                nominal.cell(kind).intrinsicNs * 1.25, 1e-12);
+  }
+}
+
+TEST(CornerTest, GuardbandReportIsConsistent) {
+  const auto nl = oisa::circuits::buildIsaNetlist(oisa::core::makeExact(32));
+  const auto report = analyzeGuardband(nl, CellLibrary::generic65());
+  EXPECT_LT(report.bestDelayNs, report.typicalDelayNs);
+  EXPECT_LT(report.typicalDelayNs, report.worstDelayNs);
+  EXPECT_NEAR(report.worstDelayNs, report.typicalDelayNs * 1.25, 1e-9);
+  EXPECT_GT(report.guardbandNs(), 0.0);
+  // A worst-case-designed clock leaves exactly the derating margin on
+  // typical silicon: 1 - 1/1.25 = 20% recoverable by overclocking — the
+  // headroom the paper's 5..15% CPR points live inside.
+  EXPECT_NEAR(report.recoverableFraction(), 0.2, 1e-6);
+}
+
+TEST(CornerTest, GuardbandCoversPaperCprRange) {
+  // Every paper design's worst-case guardband exceeds the deepest CPR the
+  // paper applies (15%), so overclocked operation at TT stays plausible.
+  for (const auto& cfg : oisa::core::paperDesigns()) {
+    const auto nl = oisa::circuits::buildIsaNetlist(cfg);
+    const auto report =
+        analyzeGuardband(nl, CellLibrary::generic65());
+    EXPECT_GT(report.recoverableFraction(), 0.15) << cfg.name();
+  }
+}
+
+}  // namespace

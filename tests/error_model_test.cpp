@@ -1,0 +1,153 @@
+// Error-model tests: the paper's signed decomposition (Figs. 4-5), the
+// streaming statistics, and the bit-level-equivalent distribution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "core/bit_distribution.h"
+#include "core/error_model.h"
+#include "core/error_stats.h"
+
+namespace {
+
+using oisa::core::BitErrorDistribution;
+using oisa::core::decomposeErrors;
+using oisa::core::ErrorCombination;
+using oisa::core::ErrorSample;
+using oisa::core::ErrorStats;
+using oisa::core::OutputTriple;
+
+TEST(ErrorModelTest, AdditiveErrorsMatchFigure4) {
+  // y_diamond=8, y_gold=6, y_silver=4: both contributions are -2/8 and add.
+  const ErrorSample s = decomposeErrors(OutputTriple{8, 6, 4});
+  EXPECT_EQ(s.eStruct, -2);
+  EXPECT_EQ(s.eTiming, -2);
+  EXPECT_EQ(s.eJoint, -4);
+  ASSERT_TRUE(s.reStruct.has_value());
+  EXPECT_DOUBLE_EQ(*s.reStruct, -0.25);
+  EXPECT_DOUBLE_EQ(*s.reTiming, -0.25);
+  EXPECT_DOUBLE_EQ(*s.reJoint, -0.5);
+}
+
+TEST(ErrorModelTest, CompensatingErrorsMatchFigure5) {
+  // y_diamond=8, y_gold=6, y_silver=7: timing error +1/8 cancels part of
+  // the structural -2/8.
+  const ErrorSample s = decomposeErrors(OutputTriple{8, 6, 7});
+  EXPECT_EQ(s.eStruct, -2);
+  EXPECT_EQ(s.eTiming, +1);
+  EXPECT_EQ(s.eJoint, -1);
+  EXPECT_DOUBLE_EQ(*s.reStruct, -0.25);
+  EXPECT_DOUBLE_EQ(*s.reTiming, 0.125);
+  EXPECT_DOUBLE_EQ(*s.reJoint, -0.125);
+}
+
+TEST(ErrorModelTest, JointIsAlwaysSumOfContributions) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const OutputTriple t{rng() & 0xffffffffull, rng() & 0xffffffffull,
+                         rng() & 0xffffffffull};
+    const ErrorSample s = decomposeErrors(t);
+    EXPECT_EQ(s.eJoint, s.eStruct + s.eTiming);
+    if (t.diamond != 0) {
+      EXPECT_NEAR(*s.reJoint, *s.reStruct + *s.reTiming, 1e-12);
+    } else {
+      EXPECT_FALSE(s.reJoint.has_value());
+    }
+  }
+}
+
+TEST(ErrorModelTest, ZeroDiamondSkipsRelativeErrors) {
+  ErrorCombination combo;
+  combo.add(OutputTriple{0, 5, 5});
+  combo.add(OutputTriple{10, 10, 10});
+  EXPECT_EQ(combo.cycles(), 2u);
+  EXPECT_EQ(combo.skippedRelative(), 1u);
+  EXPECT_EQ(combo.relStruct().count(), 1u);
+  EXPECT_EQ(combo.arithStruct().count(), 2u);
+}
+
+TEST(ErrorStatsTest, MomentsMatchClosedForm) {
+  ErrorStats stats;
+  stats.add(1.0);
+  stats.add(-3.0);
+  stats.add(0.0);
+  stats.add(2.0);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.meanAbs(), 1.5);
+  EXPECT_DOUBLE_EQ(stats.rms(), std::sqrt((1.0 + 9.0 + 0.0 + 4.0) / 4.0));
+  EXPECT_DOUBLE_EQ(stats.errorRate(), 0.75);
+  EXPECT_DOUBLE_EQ(stats.minValue(), -3.0);
+  EXPECT_DOUBLE_EQ(stats.maxValue(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.maxAbs(), 3.0);
+}
+
+TEST(ErrorStatsTest, EmptyAccumulatorIsAllZero) {
+  const ErrorStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.rms(), 0.0);
+  EXPECT_EQ(stats.errorRate(), 0.0);
+  EXPECT_EQ(stats.maxAbs(), 0.0);
+}
+
+TEST(ErrorStatsTest, MergeEqualsSequentialFeed) {
+  std::mt19937_64 rng(5);
+  ErrorStats whole, partA, partB;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = static_cast<double>(static_cast<std::int64_t>(rng())) /
+                     1e12;
+    whole.add(v);
+    (i % 2 ? partA : partB).add(v);
+  }
+  partA.merge(partB);
+  EXPECT_EQ(partA.count(), whole.count());
+  // Summation order differs between the merged and sequential paths, so
+  // compare with a relative floating-point tolerance.
+  EXPECT_NEAR(partA.mean(), whole.mean(), std::abs(whole.mean()) * 1e-9);
+  EXPECT_NEAR(partA.rms(), whole.rms(), whole.rms() * 1e-9);
+  EXPECT_DOUBLE_EQ(partA.maxAbs(), whole.maxAbs());
+}
+
+TEST(ErrorCombinationTest, MergeMatchesSingleStream) {
+  std::mt19937_64 rng(9);
+  ErrorCombination whole, a, b;
+  for (int i = 0; i < 2000; ++i) {
+    const OutputTriple t{rng() & 0xffffull, rng() & 0xffffull,
+                         rng() & 0xffffull};
+    whole.add(t);
+    (i % 3 == 0 ? a : b).add(t);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.cycles(), whole.cycles());
+  EXPECT_DOUBLE_EQ(a.relJoint().rms(), whole.relJoint().rms());
+  EXPECT_DOUBLE_EQ(a.arithTiming().meanAbs(), whole.arithTiming().meanAbs());
+}
+
+TEST(BitDistributionTest, CountsFlippedPositions) {
+  BitErrorDistribution dist(8);
+  dist.add(0b10000001, 0b00000001);  // bit 7 flipped
+  dist.add(0b00000000, 0b00000001);  // bit 0 flipped
+  dist.add(0b00000001, 0b00000001);  // identical
+  EXPECT_EQ(dist.cycles(), 3u);
+  EXPECT_EQ(dist.flips(7), 1u);
+  EXPECT_EQ(dist.flips(0), 1u);
+  EXPECT_EQ(dist.flips(3), 0u);
+  EXPECT_DOUBLE_EQ(dist.rate(7), 1.0 / 3.0);
+  EXPECT_EQ(dist.totalFlips(), 2u);
+}
+
+TEST(BitDistributionTest, MasksBitsBeyondWidth) {
+  BitErrorDistribution dist(4);
+  dist.add(0xf0, 0x00);  // all flips outside the tracked width
+  EXPECT_EQ(dist.totalFlips(), 0u);
+}
+
+TEST(BitDistributionTest, RejectsBadWidth) {
+  EXPECT_THROW(BitErrorDistribution(0), std::invalid_argument);
+  EXPECT_THROW(BitErrorDistribution(65), std::invalid_argument);
+  EXPECT_NO_THROW(BitErrorDistribution(64));
+}
+
+}  // namespace

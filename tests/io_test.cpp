@@ -1,0 +1,135 @@
+// Export-format tests: structural Verilog and VCD waveform dumping.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuits/isa_netlist.h"
+#include "netlist/verilog.h"
+#include "timing/cell_library.h"
+#include "timing/event_sim.h"
+#include "timing/vcd.h"
+
+namespace {
+
+using oisa::netlist::GateKind;
+using oisa::netlist::Netlist;
+using oisa::netlist::NetId;
+using oisa::netlist::verilogIdentifier;
+using oisa::netlist::writeVerilog;
+using oisa::timing::VcdWriter;
+
+TEST(VerilogTest, IdentifierSanitization) {
+  EXPECT_EQ(verilogIdentifier("abc_123"), "abc_123");
+  EXPECT_EQ(verilogIdentifier("(8,0,0,4)"), "_8_0_0_4_");
+  EXPECT_EQ(verilogIdentifier("3x"), "n_3x");
+  EXPECT_EQ(verilogIdentifier(""), "n_");
+}
+
+TEST(VerilogTest, HalfAdderModuleShape) {
+  Netlist nl("half");
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  nl.output("s", nl.gate2(GateKind::Xor2, a, b));
+  nl.output("c", nl.gate2(GateKind::And2, a, b));
+  std::ostringstream os;
+  writeVerilog(nl, os);
+  const std::string v = os.str();
+  EXPECT_NE(v.find("module half ("), std::string::npos);
+  EXPECT_NE(v.find("input  wire a"), std::string::npos);
+  EXPECT_NE(v.find("output wire s"), std::string::npos);
+  EXPECT_NE(v.find("^"), std::string::npos);
+  EXPECT_NE(v.find("&"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(VerilogTest, EveryGateKindHasAnExpression) {
+  Netlist nl("allkinds");
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  const NetId c = nl.input("c");
+  int outIndex = 0;
+  for (const GateKind kind : oisa::netlist::allGateKinds()) {
+    const int arity = oisa::netlist::gateArity(kind);
+    NetId out{};
+    if (arity == 0) out = nl.gate(kind, {});
+    if (arity == 1) out = nl.gate1(kind, a);
+    if (arity == 2) out = nl.gate2(kind, a, b);
+    if (arity == 3) out = nl.gate3(kind, a, b, c);
+    nl.output("o" + std::to_string(outIndex++), out);
+  }
+  std::ostringstream os;
+  writeVerilog(nl, os);
+  const std::string v = os.str();
+  EXPECT_NE(v.find("1'b0"), std::string::npos);
+  EXPECT_NE(v.find("1'b1"), std::string::npos);
+  EXPECT_NE(v.find("? "), std::string::npos);   // mux
+  EXPECT_EQ(v.find("1'bx"), std::string::npos); // no unknown kinds
+}
+
+TEST(VerilogTest, FullIsaExportsWithoutCollisions) {
+  const auto nl =
+      oisa::circuits::buildIsaNetlist(oisa::core::makeIsa(8, 2, 1, 4));
+  std::ostringstream os;
+  writeVerilog(nl, os);
+  const std::string v = os.str();
+  // One assign per gate plus one per output.
+  std::size_t assigns = 0;
+  for (std::size_t pos = v.find("assign"); pos != std::string::npos;
+       pos = v.find("assign", pos + 1)) {
+    ++assigns;
+  }
+  EXPECT_EQ(assigns, nl.gateCount() + nl.primaryOutputs().size());
+}
+
+TEST(VcdTest, RecordsOnlyChanges) {
+  Netlist nl("wave");
+  const NetId a = nl.input("a");
+  nl.output("y", nl.gate1(GateKind::Inv, a));
+  VcdWriter vcd = VcdWriter::forPorts(nl);
+  const oisa::timing::CellLibrary lib =
+      oisa::timing::CellLibrary::generic65();
+  const oisa::timing::DelayAnnotation delays(nl, lib);
+  oisa::timing::TimedSimulator sim(nl, delays);
+  sim.setChangeObserver([&](double t, NetId net, bool v) {
+    vcd.record(t, net, v);
+  });
+  vcd.sample(0.0, sim.netValues());  // initial values
+  const std::size_t initial = vcd.changeCount();
+
+  const std::vector<std::uint8_t> one{1}, zero{0};
+  sim.applyInputs(one);
+  (void)sim.settle();
+  sim.applyInputs(one);  // no change: no events
+  (void)sim.settle();
+  sim.applyInputs(zero);
+  (void)sim.settle();
+  // a: 0->1->0 (2 changes), y: 1->0->1 (2 changes).
+  EXPECT_EQ(vcd.changeCount(), initial + 4);
+
+  std::ostringstream os;
+  vcd.write(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(out.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(out.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(out.find("#0"), std::string::npos);
+}
+
+TEST(VcdTest, TimesAreInPicoseconds) {
+  Netlist nl("t");
+  const NetId a = nl.input("a");
+  nl.output("y", nl.gate1(GateKind::Buf, a));
+  VcdWriter vcd(nl, {a});
+  vcd.record(0.251, a, true);  // 0.251 ns = 251 ps
+  std::ostringstream os;
+  vcd.write(os);
+  EXPECT_NE(os.str().find("#251"), std::string::npos);
+}
+
+TEST(VcdTest, RejectsInvalidNets) {
+  Netlist nl("bad");
+  (void)nl.input("a");
+  EXPECT_THROW(VcdWriter(nl, {NetId{99}}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Cross-module integration odds and ends: swept netlists through the timed
+// simulator, overclocked multipliers, VCD capture of a sampler run, CSV
+// file output, report formatting.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+#include "circuits/multiplier_netlist.h"
+#include "circuits/synthesis.h"
+#include "core/isa_multiplier.h"
+#include "experiments/report.h"
+#include "netlist/equivalence.h"
+#include "netlist/transform.h"
+#include "timing/event_sim.h"
+#include "timing/sta.h"
+#include "timing/vcd.h"
+
+namespace {
+
+using oisa::circuits::packMultiplierOperands;
+using oisa::circuits::packOperands;
+using oisa::circuits::unpackProduct;
+using oisa::netlist::checkEquivalence;
+using oisa::netlist::sweep;
+using oisa::timing::CellLibrary;
+using oisa::timing::ClockedSampler;
+using oisa::timing::DelayAnnotation;
+
+TEST(MiscIntegrationTest, SweptSpeculateHighNetlistStaysEquivalent) {
+  oisa::core::IsaConfig cfg = oisa::core::makeIsa(8, 2, 1, 4);
+  cfg.speculateHigh = true;
+  const auto original = oisa::circuits::buildIsaNetlist(cfg);
+  const auto swept = sweep(original);
+  oisa::netlist::EquivalenceOptions options;
+  options.randomVectors = 500;
+  const auto eq = checkEquivalence(original, swept.netlist, options);
+  EXPECT_TRUE(eq.equivalent) << eq.message;
+}
+
+TEST(MiscIntegrationTest, SweptMultiplierStaysEquivalent) {
+  const auto cfg = oisa::core::MultiplierConfig::make(8, 8, 0, 0, 4);
+  const auto original = oisa::circuits::buildMultiplierNetlist(cfg);
+  const auto swept = sweep(original);
+  // The multiplier uses constant zero fills: sweep must shrink it.
+  EXPECT_LT(swept.netlist.gateCount(), original.gateCount());
+  oisa::netlist::EquivalenceOptions options;
+  options.randomVectors = 500;
+  const auto eq = checkEquivalence(original, swept.netlist, options);
+  EXPECT_TRUE(eq.equivalent) << eq.message;
+}
+
+TEST(MiscIntegrationTest, SweptNetlistSimulatesIdentically) {
+  // Timed simulation of the swept netlist at a generous clock matches the
+  // behavioral model (the sweep preserves function, not just statics).
+  const auto cfg = oisa::core::makeIsa(16, 2, 1, 6);
+  const auto original = oisa::circuits::buildIsaNetlist(cfg);
+  const auto swept = sweep(original);
+  const CellLibrary lib = CellLibrary::generic65();
+  const DelayAnnotation delays(swept.netlist, lib);
+  ClockedSampler sampler(swept.netlist, delays, 5.0);
+  const oisa::core::IsaAdder behavioral(cfg);
+  std::mt19937_64 rng(3);
+  sampler.initialize(packOperands(rng(), rng(), false, 32));
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    const auto out = sampler.step(packOperands(a, b, false, 32));
+    EXPECT_EQ(oisa::circuits::unpackSum(out, 32), behavioral.add(a, b).sum);
+  }
+}
+
+TEST(MiscIntegrationTest, OverclockedMultiplierProducesTimingErrors) {
+  // An aggressive clock on the (much deeper) multiplier produces timing
+  // errors on top of its structural ones.
+  const auto cfg = oisa::core::MultiplierConfig::make(8, 8, 0, 0, 4);
+  const auto nl = oisa::circuits::buildMultiplierNetlist(cfg);
+  const CellLibrary lib = CellLibrary::generic65();
+  const DelayAnnotation delays(nl, lib);
+  const double critical = criticalDelayNs(nl, delays);
+  EXPECT_GT(critical, 0.3) << "8 chained row adders must exceed one adder";
+
+  const oisa::core::IsaMultiplier behavioral(cfg);
+  ClockedSampler sampler(nl, delays, critical * 0.7);
+  std::mt19937_64 rng(7);
+  sampler.initialize(packMultiplierOperands(rng() & 0xff, rng() & 0xff, 8));
+  int timingErrors = 0;
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t a = rng() & 0xffu;
+    const std::uint64_t b = rng() & 0xffu;
+    const auto out = sampler.step(packMultiplierOperands(a, b, 8));
+    if (unpackProduct(out, 8) != behavioral.multiply(a, b)) ++timingErrors;
+  }
+  EXPECT_GT(timingErrors, 0);
+}
+
+TEST(MiscIntegrationTest, VcdCapturesSamplerRun) {
+  const auto design = synthesize(oisa::core::makeIsa(8, 0, 0, 4),
+                                 CellLibrary::generic65(),
+                                 oisa::circuits::SynthesisOptions{});
+  oisa::timing::VcdWriter vcd =
+      oisa::timing::VcdWriter::forPorts(design.netlist);
+  ClockedSampler sampler(design.netlist, design.delays, 0.255);
+  sampler.simulator().setChangeObserver(
+      [&](double t, oisa::netlist::NetId net, bool v) {
+        vcd.record(t, net, v);
+      });
+  std::mt19937_64 rng(11);
+  sampler.initialize(packOperands(rng(), rng(), false, 32));
+  for (int i = 0; i < 20; ++i) {
+    (void)sampler.step(packOperands(rng(), rng(), false, 32));
+  }
+  EXPECT_GT(vcd.changeCount(), 100u);
+  std::ostringstream os;
+  vcd.write(os);
+  EXPECT_GT(os.str().size(), 1000u);
+}
+
+TEST(MiscIntegrationTest, CsvFileRoundTrip) {
+  oisa::experiments::Table table({"k", "v"});
+  table.addRow({"a", "1"});
+  table.addRow({"b", "2"});
+  const std::string path = "/tmp/oisa_csv_test.csv";
+  table.writeCsvFile(path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "k,v\na,1\nb,2\n");
+  std::remove(path.c_str());
+  EXPECT_THROW(table.writeCsvFile("/nonexistent-dir/x.csv"),
+               std::runtime_error);
+}
+
+TEST(MiscIntegrationTest, CriticalPathReportNamesEndpointStages) {
+  const auto design = synthesize(oisa::core::makeExact(32),
+                                 CellLibrary::generic65(),
+                                 oisa::circuits::SynthesisOptions{});
+  const auto sta =
+      analyze(design.netlist, design.delays, 0.3);
+  const std::string report = formatCriticalPath(design.netlist, sta);
+  EXPECT_NE(report.find("critical path ("), std::string::npos);
+  EXPECT_NE(report.find("stages"), std::string::npos);
+  // The deepest stage count of a 32-bit prefix adder is > 5.
+  EXPECT_GT(sta.criticalPath.size(), 5u);
+}
+
+TEST(MiscIntegrationTest, RelaxedDesignKeepsFunctionalEquivalence) {
+  // Slack relaxation changes delays only, never logic.
+  oisa::circuits::SynthesisOptions plain;
+  oisa::circuits::SynthesisOptions relaxed;
+  relaxed.relaxSlack = true;
+  const auto a = synthesize(oisa::core::makeIsa(16, 2, 0, 4),
+                            CellLibrary::generic65(), plain);
+  const auto b = synthesize(oisa::core::makeIsa(16, 2, 0, 4),
+                            CellLibrary::generic65(), relaxed);
+  oisa::netlist::EquivalenceOptions options;
+  options.randomVectors = 300;
+  EXPECT_TRUE(checkEquivalence(a.netlist, b.netlist, options).equivalent);
+  // But the relaxed one is slower (slack consumed).
+  EXPECT_GT(b.criticalDelayNs, a.criticalDelayNs - 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,216 @@
+// Tests for the synthesis-style cleanup transforms (constant propagation,
+// alias collapsing, dead-gate elimination) and the simulation-based
+// equivalence checker.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuits/isa_netlist.h"
+#include "netlist/equivalence.h"
+#include "netlist/evaluator.h"
+#include "netlist/transform.h"
+
+namespace {
+
+using oisa::netlist::checkEquivalence;
+using oisa::netlist::EquivalenceOptions;
+using oisa::netlist::Evaluator;
+using oisa::netlist::GateKind;
+using oisa::netlist::Netlist;
+using oisa::netlist::NetId;
+using oisa::netlist::sweep;
+
+TEST(SweepTest, FoldsFullyConstantCone) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId c1 = nl.constant(true);
+  const NetId c0 = nl.constant(false);
+  const NetId x = nl.gate2(GateKind::And2, c1, c0);  // == 0
+  const NetId y = nl.gate2(GateKind::Or2, x, a);     // == a
+  nl.output("y", y);
+
+  const auto result = sweep(nl);
+  EXPECT_EQ(result.netlist.gateCount(), 0u);  // output aliases the input
+  const Evaluator eval(result.netlist);
+  EXPECT_EQ(eval.evaluateWord(0), 0u);
+  EXPECT_EQ(eval.evaluateWord(1), 1u);
+}
+
+TEST(SweepTest, XorWithConstOneBecomesInverter) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  nl.output("y", nl.gate2(GateKind::Xor2, a, nl.constant(true)));
+  const auto result = sweep(nl);
+  ASSERT_EQ(result.netlist.gateCount(), 1u);
+  EXPECT_EQ(result.netlist.gateAt(oisa::netlist::GateId{0}).kind,
+            GateKind::Inv);
+}
+
+TEST(SweepTest, MuxWithConstantSelectPicksBranch) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId b = nl.input("b");
+  nl.output("y0", nl.gate3(GateKind::Mux2, a, b, nl.constant(false)));
+  nl.output("y1", nl.gate3(GateKind::Mux2, a, b, nl.constant(true)));
+  const auto result = sweep(nl);
+  EXPECT_EQ(result.netlist.gateCount(), 0u);
+  const Evaluator eval(result.netlist);
+  // y0 = a, y1 = b.
+  EXPECT_EQ(eval.evaluateWord(0b01), 0b01u);
+  EXPECT_EQ(eval.evaluateWord(0b10), 0b10u);
+}
+
+TEST(SweepTest, RemovesDeadLogic) {
+  Netlist nl;
+  const NetId a = nl.input("a");
+  const NetId live = nl.gate1(GateKind::Inv, a);
+  NetId dead = nl.gate1(GateKind::Inv, a);
+  for (int i = 0; i < 5; ++i) dead = nl.gate1(GateKind::Buf, dead);
+  nl.output("y", live);
+  const auto result = sweep(nl);
+  EXPECT_EQ(result.netlist.gateCount(), 1u);
+  EXPECT_GE(result.deadGates + result.foldedGates, 6u);
+}
+
+// Exhaustive single-gate check: for every kind and every combination of
+// {constant, variable} inputs, the swept netlist computes the same function.
+TEST(SweepTest, PerGateConstantFoldingIsSound) {
+  for (const GateKind kind : oisa::netlist::allGateKinds()) {
+    const int arity = oisa::netlist::gateArity(kind);
+    if (arity == 0) continue;
+    // Each input is: 0 = variable, 1 = const0, 2 = const1.
+    int combos = 1;
+    for (int i = 0; i < arity; ++i) combos *= 3;
+    for (int combo = 0; combo < combos; ++combo) {
+      Netlist nl;
+      std::vector<NetId> vars;
+      std::vector<NetId> ins;
+      int rest = combo;
+      for (int i = 0; i < arity; ++i) {
+        const int mode = rest % 3;
+        rest /= 3;
+        if (mode == 0) {
+          vars.push_back(nl.input("v" + std::to_string(i)));
+          ins.push_back(vars.back());
+        } else {
+          ins.push_back(nl.constant(mode == 2));
+        }
+      }
+      nl.output("y", nl.gate(kind, ins));
+      const auto result = sweep(nl);
+      // Compare against the original on all variable assignments.
+      const Evaluator before(nl);
+      const Evaluator after(result.netlist);
+      const std::uint64_t limit = std::uint64_t{1} << vars.size();
+      for (std::uint64_t pattern = 0; pattern < limit; ++pattern) {
+        std::vector<std::uint8_t> in(vars.size());
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+          in[i] = static_cast<std::uint8_t>((pattern >> i) & 1u);
+        }
+        EXPECT_EQ(before.evaluateOutputs(in), after.evaluateOutputs(in))
+            << oisa::netlist::gateName(kind) << " combo " << combo
+            << " pattern " << pattern;
+      }
+    }
+  }
+}
+
+TEST(SweepTest, IsaNetlistsSurviveSweepEquivalently) {
+  for (const auto& cfg : oisa::core::paperDesigns()) {
+    const Netlist original = oisa::circuits::buildIsaNetlist(cfg);
+    const auto result = sweep(original);
+    EXPECT_LE(result.netlist.gateCount(), original.gateCount());
+    EquivalenceOptions options;
+    options.randomVectors = 600;
+    const auto eq = checkEquivalence(original, result.netlist, options);
+    EXPECT_TRUE(eq.equivalent) << cfg.name() << ": " << eq.message;
+  }
+}
+
+TEST(SweepTest, PreservesPortNamesAndOrder) {
+  const auto cfg = oisa::core::makeIsa(8, 2, 1, 4);
+  const Netlist original = oisa::circuits::buildIsaNetlist(cfg);
+  const auto result = sweep(original);
+  ASSERT_EQ(result.netlist.primaryInputs().size(),
+            original.primaryInputs().size());
+  ASSERT_EQ(result.netlist.primaryOutputs().size(),
+            original.primaryOutputs().size());
+  for (std::size_t i = 0; i < original.primaryInputs().size(); ++i) {
+    EXPECT_EQ(result.netlist.net(result.netlist.primaryInputs()[i]).name,
+              original.net(original.primaryInputs()[i]).name);
+  }
+  for (std::size_t i = 0; i < original.primaryOutputs().size(); ++i) {
+    EXPECT_EQ(result.netlist.outputName(i), original.outputName(i));
+  }
+}
+
+TEST(EquivalenceTest, DetectsSingleGateDifference) {
+  Netlist a, b;
+  {
+    const NetId x = a.input("x");
+    const NetId y = a.input("y");
+    a.output("z", a.gate2(GateKind::And2, x, y));
+  }
+  {
+    const NetId x = b.input("x");
+    const NetId y = b.input("y");
+    b.output("z", b.gate2(GateKind::Or2, x, y));
+  }
+  const auto result = checkEquivalence(a, b);
+  EXPECT_FALSE(result.equivalent);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_NE(result.message.find("mismatch"), std::string::npos);
+}
+
+TEST(EquivalenceTest, ExhaustiveForSmallCircuits) {
+  Netlist a, b;
+  {
+    const NetId x = a.input("x");
+    a.output("z", a.gate1(GateKind::Inv, a.gate1(GateKind::Inv, x)));
+  }
+  {
+    const NetId x = b.input("x");
+    b.output("z", b.gate1(GateKind::Buf, x));
+  }
+  const auto result = checkEquivalence(a, b);
+  EXPECT_TRUE(result.equivalent);
+  EXPECT_EQ(result.vectorsTried, 2u);
+  EXPECT_NE(result.message.find("exhaustive"), std::string::npos);
+}
+
+TEST(EquivalenceTest, RejectsPortShapeMismatch) {
+  Netlist a, b;
+  a.output("z", a.gate1(GateKind::Inv, a.input("x")));
+  const NetId x = b.input("x");
+  const NetId y = b.input("y");
+  b.output("z", b.gate2(GateKind::And2, x, y));
+  const auto result = checkEquivalence(a, b);
+  EXPECT_FALSE(result.equivalent);
+  EXPECT_EQ(result.message, "port shape mismatch");
+}
+
+TEST(EquivalenceTest, FindsRareMismatchViaCornerPatterns) {
+  // Two 20-input functions that differ only near the all-ones vector (a
+  // ~1e-6 density): random vectors alone would likely miss it; the
+  // directed corner patterns must catch it.
+  Netlist a, b;
+  {
+    std::vector<NetId> ins;
+    for (int i = 0; i < 20; ++i) ins.push_back(a.input("i" + std::to_string(i)));
+    a.output("z", oisa::circuits::andTree(a, ins));
+  }
+  {
+    std::vector<NetId> ins;
+    for (int i = 0; i < 20; ++i) ins.push_back(b.input("i" + std::to_string(i)));
+    // AND of the first 19 with the last input inverted.
+    std::vector<NetId> most(ins.begin(), ins.end() - 1);
+    most.push_back(b.gate1(GateKind::Inv, ins.back()));
+    b.output("z", oisa::circuits::andTree(b, most));
+  }
+  EquivalenceOptions options;
+  options.randomVectors = 10;
+  const auto result = checkEquivalence(a, b, options);
+  EXPECT_FALSE(result.equivalent);
+}
+
+}  // namespace
