@@ -10,6 +10,10 @@
 // the functions document their independence approximations.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
+#include "core/error_stats.h"
 #include "core/isa_config.h"
 
 namespace oisa::core {
@@ -42,5 +46,26 @@ namespace oisa::core {
 /// contributions are independent and the preceding sum's balanced MSBs are
 /// uniform: sum_i p_i * 2^-C * (-2^(iK) + balancingGain_i). Approximate.
 [[nodiscard]] double expectedStructuralErrorApprox(const IsaConfig& cfg);
+
+/// Monte-Carlo measurement of the behavioral model's structural errors
+/// under uniform random operands — the empirical counterpart of the closed
+/// forms above (property tests cross-check the two; benches quote both).
+struct StructuralMonteCarlo {
+  std::uint64_t samples = 0;
+  std::vector<std::uint64_t> pathFaults;  ///< speculation faults per path
+  ErrorStats errors;                      ///< signed E_struct stream
+
+  /// Measured counterpart of faultProbability(cfg, path).
+  [[nodiscard]] double faultRate(int path) const;
+  /// Measured counterpart of meanFaultsPerAddition(cfg).
+  [[nodiscard]] double meanFaultsPerAddition() const;
+};
+
+/// Draws `samples` uniform operand pairs (carry-in 0) through the
+/// behavioral adder and accumulates fault counts and error statistics.
+/// Deterministic for a given seed; samples are drawn in 64-bit words so
+/// results are independent of the adder width.
+[[nodiscard]] StructuralMonteCarlo sampleStructuralErrors(
+    const IsaConfig& cfg, std::uint64_t samples, std::uint64_t seed);
 
 }  // namespace oisa::core

@@ -13,6 +13,14 @@
 
 namespace oisa::core {
 
+/// Signed difference `a - b` of two unsigned composed output values, as a
+/// double. Computed in unsigned space: composed values may use bit 63 at
+/// adder widths 63-64, where int64 casts of the operands would overflow.
+[[nodiscard]] constexpr double signedErrorAsDouble(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return a >= b ? static_cast<double>(a - b) : -static_cast<double>(b - a);
+}
+
 /// Single-pass accumulator over a stream of (signed) error values.
 class ErrorStats {
  public:

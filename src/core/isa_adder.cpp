@@ -164,8 +164,10 @@ std::int64_t IsaAdder::structuralError(std::uint64_t a, std::uint64_t b,
                                        bool carryIn) const {
   const IsaSum gold = add(a, b, carryIn);
   const IsaSum diamond = exactAdd(a, b, carryIn);
-  return static_cast<std::int64_t>(gold.value(cfg_.width)) -
-         static_cast<std::int64_t>(diamond.value(cfg_.width));
+  // Subtract in unsigned space (wraps, then two's-complement cast): composed
+  // values may use bit 63 at widths 63-64, where int64 casts would overflow.
+  return static_cast<std::int64_t>(gold.value(cfg_.width) -
+                                   diamond.value(cfg_.width));
 }
 
 }  // namespace oisa::core

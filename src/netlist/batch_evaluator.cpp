@@ -1,0 +1,98 @@
+#include "netlist/batch_evaluator.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace oisa::netlist {
+
+void transpose64(std::span<std::uint64_t, 64> rows) noexcept {
+  // Hacker's Delight 7-6 block-swap, in LSB-first convention (element
+  // (i, j) = bit j of rows[i]): at each step, exchange the upper-right and
+  // lower-left j x j sub-blocks of every 2j x 2j block along the diagonal.
+  std::uint64_t m = 0x00000000ffffffffull;
+  for (std::size_t j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (std::size_t k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((rows[k] >> j) ^ rows[k + j]) & m;
+      rows[k] ^= t << j;
+      rows[k + j] ^= t;
+    }
+  }
+}
+
+BatchEvaluator::BatchEvaluator(const Netlist& nl)
+    : nl_(nl), order_(nl.topologicalOrder()) {}
+
+void BatchEvaluator::evaluateInto(std::span<const std::uint64_t> inputWords,
+                                  std::vector<std::uint64_t>& values) const {
+  const auto pis = nl_.primaryInputs();
+  if (inputWords.size() != pis.size()) {
+    throw std::invalid_argument(
+        "BatchEvaluator: expected " + std::to_string(pis.size()) +
+        " input words, got " + std::to_string(inputWords.size()));
+  }
+  values.assign(nl_.netCount(), 0);
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    values[pis[i].value] = inputWords[i];
+  }
+  for (GateId gid : order_) {
+    const Gate& g = nl_.gateAt(gid);
+    const auto ins = g.inputs();
+    const std::uint64_t a = ins.empty() ? 0 : values[ins[0].value];
+    const std::uint64_t b = ins.size() > 1 ? values[ins[1].value] : 0;
+    const std::uint64_t c = ins.size() > 2 ? values[ins[2].value] : 0;
+    values[g.out.value] = evalGateWord(g.kind, a, b, c);
+  }
+}
+
+std::vector<std::uint64_t> BatchEvaluator::evaluate(
+    std::span<const std::uint64_t> inputWords) const {
+  std::vector<std::uint64_t> values;
+  evaluateInto(inputWords, values);
+  return values;
+}
+
+std::vector<std::uint64_t> BatchEvaluator::evaluateOutputs(
+    std::span<const std::uint64_t> inputWords) const {
+  const auto values = evaluate(inputWords);
+  const auto pos = nl_.primaryOutputs();
+  std::vector<std::uint64_t> out(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    out[i] = values[pos[i].value];
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> BatchEvaluator::evaluateWords(
+    std::span<const std::uint64_t> patterns) const {
+  const auto pis = nl_.primaryInputs();
+  const auto pos = nl_.primaryOutputs();
+  if (pis.size() > kLanes || pos.size() > kLanes) {
+    throw std::invalid_argument("BatchEvaluator::evaluateWords: > 64 ports");
+  }
+  if (patterns.empty() || patterns.size() > kLanes) {
+    throw std::invalid_argument(
+        "BatchEvaluator::evaluateWords: need 1..64 patterns");
+  }
+  // Transpose pattern-major rows into lane-major columns: after the
+  // transpose, word i holds bit i of every pattern, i.e. the 64-lane value
+  // of primary input i — with pattern p in lane p.
+  std::array<std::uint64_t, kLanes> matrix{};
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    matrix[p] = patterns[p];
+  }
+  transpose64(matrix);
+  const auto outWords =
+      evaluateOutputs(std::span<const std::uint64_t>(matrix.data(),
+                                                     pis.size()));
+  // Transpose back: row o currently holds output o across lanes; afterwards
+  // row p packs all outputs of pattern p.
+  matrix.fill(0);
+  for (std::size_t o = 0; o < outWords.size(); ++o) {
+    matrix[o] = outWords[o];
+  }
+  transpose64(matrix);
+  return {matrix.begin(), matrix.begin() + static_cast<std::ptrdiff_t>(
+                                               patterns.size())};
+}
+
+}  // namespace oisa::netlist

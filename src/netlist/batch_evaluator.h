@@ -1,0 +1,104 @@
+// oisa_netlist: word-parallel (64-lane) zero-delay evaluation.
+//
+// Packs 64 independent input patterns into one std::uint64_t per net — bit L
+// of every word belongs to pattern L — and evaluates all of them in a single
+// topological sweep using bitwise gate functions. This is the classic
+// bit-parallel fault-simulation idiom: the sweep cost is identical to one
+// scalar Evaluator pass, so throughput improves by up to 64x for functional
+// Monte-Carlo sampling, equivalence checking and workload replay.
+//
+// Functionally equivalent to Evaluator lane by lane (cross-checked by
+// tests/batch_evaluator_test.cpp on every adder topology).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace oisa::netlist {
+
+/// Word-parallel gate function: each bit position of a/b/c is an independent
+/// evaluation lane. Mirrors evalGate() bit-for-bit in every lane.
+[[nodiscard]] constexpr std::uint64_t evalGateWord(GateKind kind,
+                                                   std::uint64_t a,
+                                                   std::uint64_t b,
+                                                   std::uint64_t c) noexcept {
+  switch (kind) {
+    case GateKind::Const0: return 0;
+    case GateKind::Const1: return ~std::uint64_t{0};
+    case GateKind::Buf: return a;
+    case GateKind::Inv: return ~a;
+    case GateKind::And2: return a & b;
+    case GateKind::Or2: return a | b;
+    case GateKind::Nand2: return ~(a & b);
+    case GateKind::Nor2: return ~(a | b);
+    case GateKind::Xor2: return a ^ b;
+    case GateKind::Xnor2: return ~(a ^ b);
+    case GateKind::And3: return a & b & c;
+    case GateKind::Or3: return a | b | c;
+    case GateKind::Aoi21: return ~((a & b) | c);
+    case GateKind::Oai21: return ~((a | b) & c);
+    case GateKind::Mux2: return (c & b) | (~c & a);
+    case GateKind::Maj3: return (a & b) | (a & c) | (b & c);
+  }
+  return 0;
+}
+
+/// In-place transpose of a 64x64 bit matrix stored as 64 row words
+/// (bit j of rows[i] = element (i, j)). Used to convert between
+/// pattern-major packed words (Evaluator::evaluateWord convention) and the
+/// lane-major layout the batch sweep operates on.
+void transpose64(std::span<std::uint64_t, 64> rows) noexcept;
+
+/// Reusable 64-lane evaluator. Caches the topological order (like
+/// Evaluator), so each batch of up to 64 patterns is one linear sweep.
+///
+/// Two layouts are supported:
+///  * lane-major ("one word per net"): evaluate()/evaluateOutputs() take one
+///    word per primary input whose bit L is pattern L's value of that input.
+///    Works for any port count — this is the hot-path API.
+///  * pattern-major ("one word per pattern"): evaluateWords() takes packed
+///    words in the Evaluator::evaluateWord convention (bit i = primary
+///    input i) and transposes internally. Requires <= 64 inputs/outputs.
+class BatchEvaluator {
+ public:
+  /// Number of patterns evaluated per sweep.
+  static constexpr std::size_t kLanes = 64;
+
+  explicit BatchEvaluator(const Netlist& nl);
+
+  /// Evaluates 64 patterns at once. `inputWords` holds one word per primary
+  /// input (declaration order); bit L of word i is pattern L's value of
+  /// input i. Returns one word per net, indexed by NetId::value. For
+  /// batches smaller than 64 the extra lanes simply compute whatever the
+  /// unused input bits encode; callers mask them out.
+  [[nodiscard]] std::vector<std::uint64_t> evaluate(
+      std::span<const std::uint64_t> inputWords) const;
+
+  /// Like evaluate() but writes into `values` (resized to netCount()),
+  /// avoiding per-batch allocation in hot loops.
+  void evaluateInto(std::span<const std::uint64_t> inputWords,
+                    std::vector<std::uint64_t>& values) const;
+
+  /// Evaluates 64 patterns and returns one word per primary output
+  /// (declaration order); bit L of word o is pattern L's value of output o.
+  [[nodiscard]] std::vector<std::uint64_t> evaluateOutputs(
+      std::span<const std::uint64_t> inputWords) const;
+
+  /// Pattern-major batch counterpart of Evaluator::evaluateWord: element p
+  /// of `patterns` packs primary-input bits of pattern p (bit i drives
+  /// input i); the result packs primary-output bits the same way. Accepts
+  /// 1..64 patterns per call and requires <= 64 inputs / outputs.
+  [[nodiscard]] std::vector<std::uint64_t> evaluateWords(
+      std::span<const std::uint64_t> patterns) const;
+
+  [[nodiscard]] const Netlist& netlist() const noexcept { return nl_; }
+
+ private:
+  const Netlist& nl_;
+  std::vector<GateId> order_;
+};
+
+}  // namespace oisa::netlist

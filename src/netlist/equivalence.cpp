@@ -1,9 +1,11 @@
 #include "netlist/equivalence.h"
 
+#include <algorithm>
+#include <bit>
 #include <random>
 #include <sstream>
 
-#include "netlist/evaluator.h"
+#include "netlist/batch_evaluator.h"
 
 namespace oisa::netlist {
 
@@ -28,6 +30,73 @@ std::string describeMismatch(const Netlist& a,
   return os.str();
 }
 
+/// Stages vectors into 64-wide batches and compares both netlists one
+/// word-parallel sweep at a time — the checker's default evaluation path.
+/// Counting and counterexample selection match the scalar checker exactly:
+/// on a mismatch, `vectorsTried` includes vectors up to and including the
+/// earliest failing one, which is the lowest mismatching lane of the first
+/// failing batch.
+class BatchChecker {
+ public:
+  BatchChecker(const Netlist& a, const Netlist& b, EquivalenceResult& result)
+      : a_(a), evalA_(a), evalB_(b), result_(result) {}
+
+  /// Stages one vector; evaluates when 64 are pending. Returns false once a
+  /// mismatch has been found (result_ is then fully filled in).
+  [[nodiscard]] bool tryVector(const std::vector<std::uint8_t>& in) {
+    staged_.push_back(in);
+    if (staged_.size() == BatchEvaluator::kLanes) return flush();
+    return true;
+  }
+
+  /// Evaluates any pending partial batch. Returns false on mismatch.
+  [[nodiscard]] bool flush() {
+    if (staged_.empty()) return true;
+    const std::size_t n = staged_.front().size();
+    std::vector<std::uint64_t> inWords(n, 0);
+    for (std::size_t lane = 0; lane < staged_.size(); ++lane) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (staged_[lane][i]) inWords[i] |= std::uint64_t{1} << lane;
+      }
+    }
+    const auto outA = evalA_.evaluateOutputs(inWords);
+    const auto outB = evalB_.evaluateOutputs(inWords);
+    const std::uint64_t laneMask =
+        staged_.size() == BatchEvaluator::kLanes
+            ? ~std::uint64_t{0}
+            : (std::uint64_t{1} << staged_.size()) - 1;
+    std::uint64_t diff = 0;
+    for (std::size_t o = 0; o < outA.size(); ++o) {
+      diff |= outA[o] ^ outB[o];
+    }
+    diff &= laneMask;
+    if (diff == 0) {
+      result_.vectorsTried += staged_.size();
+      staged_.clear();
+      return true;
+    }
+    const auto lane = static_cast<std::size_t>(std::countr_zero(diff));
+    result_.vectorsTried += lane + 1;
+    std::vector<std::uint8_t> scalarA(outA.size());
+    std::vector<std::uint8_t> scalarB(outB.size());
+    for (std::size_t o = 0; o < outA.size(); ++o) {
+      scalarA[o] = static_cast<std::uint8_t>((outA[o] >> lane) & 1u);
+      scalarB[o] = static_cast<std::uint8_t>((outB[o] >> lane) & 1u);
+    }
+    result_.counterexample = staged_[lane];
+    result_.message = describeMismatch(a_, staged_[lane], scalarA, scalarB);
+    staged_.clear();
+    return false;
+  }
+
+ private:
+  const Netlist& a_;
+  BatchEvaluator evalA_;
+  BatchEvaluator evalB_;
+  EquivalenceResult& result_;
+  std::vector<std::vector<std::uint8_t>> staged_;
+};
+
 }  // namespace
 
 EquivalenceResult checkEquivalence(const Netlist& a, const Netlist& b,
@@ -39,20 +108,7 @@ EquivalenceResult checkEquivalence(const Netlist& a, const Netlist& b,
     return result;
   }
   const std::size_t n = a.primaryInputs().size();
-  const Evaluator evalA(a);
-  const Evaluator evalB(b);
-
-  auto tryVector = [&](const std::vector<std::uint8_t>& in) {
-    ++result.vectorsTried;
-    const auto outA = evalA.evaluateOutputs(in);
-    const auto outB = evalB.evaluateOutputs(in);
-    if (outA != outB) {
-      result.counterexample = in;
-      result.message = describeMismatch(a, in, outA, outB);
-      return false;
-    }
-    return true;
-  };
+  BatchChecker checker(a, b, result);
 
   std::vector<std::uint8_t> in(n, 0);
   if (n <= static_cast<std::size_t>(options.exhaustiveLimit)) {
@@ -61,8 +117,9 @@ EquivalenceResult checkEquivalence(const Netlist& a, const Netlist& b,
       for (std::size_t i = 0; i < n; ++i) {
         in[i] = static_cast<std::uint8_t>((pattern >> i) & 1u);
       }
-      if (!tryVector(in)) return result;
+      if (!checker.tryVector(in)) return result;
     }
+    if (!checker.flush()) return result;
     result.equivalent = true;
     result.message = "exhaustively equivalent";
     return result;
@@ -75,18 +132,18 @@ EquivalenceResult checkEquivalence(const Netlist& a, const Netlist& b,
     }
   };
   fill([](std::size_t) { return false; });
-  if (!tryVector(in)) return result;
+  if (!checker.tryVector(in)) return result;
   fill([](std::size_t) { return true; });
-  if (!tryVector(in)) return result;
+  if (!checker.tryVector(in)) return result;
   fill([](std::size_t i) { return i % 2 == 0; });
-  if (!tryVector(in)) return result;
+  if (!checker.tryVector(in)) return result;
   fill([](std::size_t i) { return i % 2 == 1; });
-  if (!tryVector(in)) return result;
+  if (!checker.tryVector(in)) return result;
   for (std::size_t hot = 0; hot < n; ++hot) {
     fill([hot](std::size_t i) { return i == hot; });
-    if (!tryVector(in)) return result;
+    if (!checker.tryVector(in)) return result;
     fill([hot](std::size_t i) { return i != hot; });
-    if (!tryVector(in)) return result;
+    if (!checker.tryVector(in)) return result;
   }
 
   std::mt19937_64 rng(options.seed);
@@ -94,8 +151,9 @@ EquivalenceResult checkEquivalence(const Netlist& a, const Netlist& b,
     for (std::size_t i = 0; i < n; ++i) {
       in[i] = static_cast<std::uint8_t>(rng() & 1u);
     }
-    if (!tryVector(in)) return result;
+    if (!checker.tryVector(in)) return result;
   }
+  if (!checker.flush()) return result;
   result.equivalent = true;
   result.message = "no mismatch in " + std::to_string(result.vectorsTried) +
                    " vectors (simulation-based check)";

@@ -19,6 +19,7 @@ using oisa::core::IsaConfig;
 using oisa::core::makeIsa;
 using oisa::core::meanFaultsPerAddition;
 using oisa::core::PathTrace;
+using oisa::core::sampleStructuralErrors;
 using oisa::core::structuralErrorRateApprox;
 
 TEST(AnalysisTest, CarryProbabilityClosedForm) {
@@ -47,26 +48,18 @@ TEST(AnalysisTest, CarryProbabilityMatchesMonteCarlo) {
 }
 
 TEST(AnalysisTest, FaultProbabilityMatchesMonteCarlo) {
-  std::mt19937_64 rng(5);
-  const int n = 100000;
+  const std::uint64_t n = 100000;
   for (const IsaConfig& cfg :
        {makeIsa(8, 0, 0, 0), makeIsa(8, 2, 0, 0), makeIsa(16, 1, 0, 0),
         makeIsa(16, 7, 0, 0), makeIsa(4, 1, 0, 0, 16)}) {
-    const IsaAdder isa(cfg);
-    std::vector<int> faults(static_cast<std::size_t>(cfg.pathCount()), 0);
-    std::vector<PathTrace> traces;
-    for (int i = 0; i < n; ++i) {
-      (void)isa.addTraced(rng(), rng(), false, traces);
-      for (std::size_t p = 0; p < traces.size(); ++p) {
-        faults[p] += traces[p].faultDirection != 0 ? 1 : 0;
-      }
-    }
+    const auto mc = sampleStructuralErrors(cfg, n, 5);
+    ASSERT_EQ(mc.pathFaults.size(),
+              static_cast<std::size_t>(cfg.pathCount()));
     for (int p = 0; p < cfg.pathCount(); ++p) {
-      const double measured =
-          static_cast<double>(faults[static_cast<std::size_t>(p)]) / n;
-      EXPECT_NEAR(measured, faultProbability(cfg, p), 0.01)
+      EXPECT_NEAR(mc.faultRate(p), faultProbability(cfg, p), 0.01)
           << cfg.name() << " path " << p;
     }
+    EXPECT_THROW((void)mc.faultRate(cfg.pathCount()), std::invalid_argument);
   }
 }
 
@@ -92,19 +85,11 @@ TEST(AnalysisTest, MeanFaultsIsLinearInPathProbabilities) {
 }
 
 TEST(AnalysisTest, MeanFaultsMatchesMonteCarlo) {
-  std::mt19937_64 rng(7);
-  const int n = 100000;
+  const std::uint64_t n = 100000;
   for (const IsaConfig& cfg : oisa::core::paperDesigns()) {
     if (cfg.exact) continue;
-    const IsaAdder isa(cfg);
-    std::vector<PathTrace> traces;
-    std::int64_t total = 0;
-    for (int i = 0; i < n; ++i) {
-      (void)isa.addTraced(rng(), rng(), false, traces);
-      for (const PathTrace& t : traces) total += t.faultDirection != 0;
-    }
-    EXPECT_NEAR(static_cast<double>(total) / n, meanFaultsPerAddition(cfg),
-                0.02)
+    const auto mc = sampleStructuralErrors(cfg, n, 7);
+    EXPECT_NEAR(mc.meanFaultsPerAddition(), meanFaultsPerAddition(cfg), 0.02)
         << cfg.name();
   }
 }
@@ -133,17 +118,12 @@ TEST(AnalysisTest, CorrectionProbabilityMatchesMonteCarlo) {
 }
 
 TEST(AnalysisTest, ErrorRateApproxTracksMonteCarlo) {
-  std::mt19937_64 rng(11);
-  const int n = 100000;
+  const std::uint64_t n = 100000;
   for (const IsaConfig& cfg :
        {makeIsa(8, 0, 0, 0), makeIsa(8, 0, 1, 0), makeIsa(16, 2, 0, 0),
         makeIsa(16, 2, 1, 0)}) {
-    const IsaAdder isa(cfg);
-    int errors = 0;
-    for (int i = 0; i < n; ++i) {
-      errors += isa.structuralError(rng(), rng()) != 0 ? 1 : 0;
-    }
-    const double measured = static_cast<double>(errors) / n;
+    const auto mc = sampleStructuralErrors(cfg, n, 11);
+    const double measured = mc.errors.errorRate();
     const double predicted = structuralErrorRateApprox(cfg);
     // Cross-boundary correlation makes this approximate: allow 10% rel.
     EXPECT_NEAR(measured, predicted, 0.1 * predicted + 0.005) << cfg.name();
@@ -151,16 +131,11 @@ TEST(AnalysisTest, ErrorRateApproxTracksMonteCarlo) {
 }
 
 TEST(AnalysisTest, ExpectedErrorApproxTracksMonteCarlo) {
-  std::mt19937_64 rng(13);
-  const int n = 200000;
+  const std::uint64_t n = 200000;
   for (const IsaConfig& cfg :
        {makeIsa(8, 0, 0, 0), makeIsa(8, 0, 0, 4), makeIsa(16, 1, 0, 2)}) {
-    const IsaAdder isa(cfg);
-    double sum = 0.0;
-    for (int i = 0; i < n; ++i) {
-      sum += static_cast<double>(isa.structuralError(rng(), rng()));
-    }
-    const double measured = sum / n;
+    const auto mc = sampleStructuralErrors(cfg, n, 13);
+    const double measured = mc.errors.mean();
     const double predicted = expectedStructuralErrorApprox(cfg);
     EXPECT_LT(measured, 0.0);
     EXPECT_LT(predicted, 0.0);
