@@ -1,8 +1,11 @@
 // Shared helpers for the figure-regeneration benches.
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "circuits/synthesis.h"
@@ -11,6 +14,55 @@
 #include "timing/cell_library.h"
 
 namespace oisa::bench {
+
+/// `--threads=N` worker-thread count for grid sweeps (0 = hardware
+/// concurrency, the default). Results are bit-identical at any value.
+inline unsigned threadsOption(const experiments::ArgParser& args) {
+  return static_cast<unsigned>(args.getU64("threads", 0));
+}
+
+/// Minimal machine-readable bench emitter: one flat JSON object per file,
+/// so CI can track the perf trajectory across PRs (BENCH_timed.json,
+/// BENCH_batch.json, ...).
+class BenchJson {
+ public:
+  explicit BenchJson(std::string benchName) { add("bench", benchName); }
+
+  BenchJson& add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, '"' + value + '"');
+    return *this;
+  }
+  BenchJson& add(const std::string& key, double value) {
+    std::ostringstream os;
+    os << value;
+    fields_.emplace_back(key, os.str());
+    return *this;
+  }
+  BenchJson& add(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += '"' + fields_[i].first + "\": " + fields_[i].second;
+    }
+    return out + "}\n";
+  }
+
+  /// Writes the object to `path` when non-empty (the `--json=path` flag).
+  void writeFile(const std::string& path) const {
+    if (path.empty()) return;
+    std::ofstream os(path);
+    os << str();
+    std::cout << "(json written to " << path << ")\n";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /// Paper CPR points (percent of the 0.3 ns sign-off period).
 inline const std::vector<double>& paperCprs() {

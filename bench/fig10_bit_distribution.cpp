@@ -4,7 +4,8 @@
 // bar rendering of the two series.
 //
 // Usage: fig10_bit_distribution [--cycles=N] [--block=8] [--spec=0]
-//          [--corr=0] [--red=4] [--cpr=15] [--seed=S] [--csv=path]
+//          [--corr=0] [--red=4] [--cpr=15] [--seed=S] [--threads=N]
+//          [--csv=path]
 #include <algorithm>
 
 #include "experiments/runner.h"
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   experiments::RunOptions options;
   options.cycles = args.getU64("cycles", 20000);
   options.seed = args.getU64("seed", 42);
+  options.threads = bench::threadsOption(args);
   const auto dist = runBitDistribution(design, cpr, options);
 
   std::cout << "== Fig. 10: bit-level-equivalent error distribution in ISA "

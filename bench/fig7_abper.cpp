@@ -3,7 +3,8 @@
 // Values below 1e-6 print as 1e-6, as in the paper's log-scale figure.
 //
 // Usage: fig7_abper [--train-cycles=N] [--test-cycles=N] [--trees=T]
-//                   [--depth=D] [--seed=S] [--relax] [--csv=path]
+//                   [--depth=D] [--seed=S] [--relax] [--threads=N]
+//                   [--csv=path]
 #include "experiments/runner.h"
 
 #include "bench_common.h"
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   options.trainCycles = args.getU64("train-cycles", 6000);
   options.testCycles = args.getU64("test-cycles", 3000);
   options.run.seed = args.getU64("seed", 42);
+  options.run.threads = bench::threadsOption(args);
   options.predictor.forest.treeCount = args.getU64("trees", 10);
   options.predictor.forest.tree.maxDepth =
       static_cast<int>(args.getU64("depth", 10));

@@ -4,7 +4,7 @@
 // compared against the real overclocked output.
 //
 // Usage: fig8_avpe [--train-cycles=N] [--test-cycles=N] [--trees=T]
-//                  [--seed=S] [--relax] [--csv=path]
+//                  [--seed=S] [--relax] [--threads=N] [--csv=path]
 #include "experiments/runner.h"
 
 #include "bench_common.h"
@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   options.trainCycles = args.getU64("train-cycles", 6000);
   options.testCycles = args.getU64("test-cycles", 3000);
   options.run.seed = args.getU64("seed", 42);
+  options.run.threads = bench::threadsOption(args);
   options.predictor.forest.treeCount = args.getU64("trees", 10);
 
   const auto rows =

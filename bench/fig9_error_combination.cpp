@@ -4,7 +4,8 @@
 // 1e-6% for log-scale display like the paper's figures.
 //
 // Usage: fig9_error_combination [--cycles=N] [--seed=S] [--relax]
-//                               [--workload=uniform] [--csv=path]
+//                               [--workload=uniform] [--threads=N]
+//                               [--csv=path]
 #include "experiments/runner.h"
 #include "experiments/trace_collector.h"
 
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   experiments::RunOptions options;
   options.cycles = args.getU64("cycles", 20000);
   options.seed = args.getU64("seed", 42);
+  options.threads = bench::threadsOption(args);
   options.workload = args.getString("workload", "uniform");
 
   const auto rows =

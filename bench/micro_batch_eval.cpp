@@ -7,7 +7,7 @@
 // timing is reported, and the final checksum keeps the compiler honest.
 //
 // Usage: micro_batch_eval [--patterns=N] [--design=block,spec,corr,red]
-//                         [--min-speedup=X]
+//                         [--min-speedup=X] [--json=path]
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -19,6 +19,8 @@
 #include "experiments/cli.h"
 #include "netlist/batch_evaluator.h"
 #include "netlist/evaluator.h"
+
+#include "bench_common.h"
 
 namespace {
 
@@ -121,6 +123,15 @@ int main(int argc, char** argv) {
             << batchRate / 1e6 << " Mpatterns/s)\n"
             << "speedup:           " << speedup << "x\n"
             << "(checksum " << (checksum & 0xffff) << ")\n";
+
+  oisa::bench::BenchJson json("micro_batch_eval");
+  json.add("design", cfg.name())
+      .add("gates", static_cast<std::uint64_t>(nl.gateCount()))
+      .add("patterns", batches * 64)
+      .add("scalar_patterns_per_sec", scalarRate)
+      .add("batch_patterns_per_sec", batchRate)
+      .add("speedup", speedup);
+  json.writeFile(args.getString("json", ""));
 
   if (minSpeedup > 0.0 && speedup < minSpeedup) {
     std::cerr << "FAIL: speedup " << speedup << "x below required "

@@ -5,10 +5,11 @@
 // importance on one overclocked design, evidencing that the paper's
 // {x[t-1], yRTL} features carry signal.
 //
-// Usage: table2_guardband [--importance] [--csv=path]
+// Usage: table2_guardband [--importance] [--threads=N] [--csv=path]
 #include <algorithm>
 #include <numeric>
 
+#include "experiments/grid_scheduler.h"
 #include "experiments/runner.h"
 #include "experiments/trace_collector.h"
 #include "timing/corners.h"
@@ -23,12 +24,21 @@ int main(int argc, char** argv) {
   std::cout << "== Table II: multi-corner guardband per design ==\n\n";
   experiments::Table table({"design", "FF[ns]", "TT[ns]", "SS[ns]",
                             "guardband[ns]", "recoverable[%]"});
-  for (const auto& cfg : core::paperDesigns()) {
+  // Each design's synthesis + corner analysis is independent: fan them out
+  // across the pool, then print in design order (deterministic at any
+  // thread count).
+  const auto designs = core::paperDesigns();
+  std::vector<timing::GuardbandReport> reports(designs.size());
+  experiments::GridScheduler pool(bench::threadsOption(args));
+  pool.run(designs.size(), [&](std::size_t i) {
     // Analyze the topology the synthesis flow actually picks at 0.3 ns.
     const auto design =
-        circuits::synthesize(cfg, lib, circuits::SynthesisOptions{});
-    const auto report = timing::analyzeGuardband(design.netlist, lib);
-    table.addRow({cfg.name(),
+        circuits::synthesize(designs[i], lib, circuits::SynthesisOptions{});
+    reports[i] = timing::analyzeGuardband(design.netlist, lib);
+  });
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const auto& report = reports[i];
+    table.addRow({designs[i].name(),
                   experiments::formatFixed(report.bestDelayNs, 4),
                   experiments::formatFixed(report.typicalDelayNs, 4),
                   experiments::formatFixed(report.worstDelayNs, 4),

@@ -3,9 +3,11 @@
 // from real switching activity in the event-driven simulator; leakage from
 // cell areas. Savings are reported against the exact adder.
 //
-// Usage: table3_power [--cycles=N] [--seed=S] [--csv=path]
+// Usage: table3_power [--cycles=N] [--seed=S] [--threads=N] [--csv=path]
+#include <optional>
 #include <random>
 
+#include "experiments/grid_scheduler.h"
 #include "timing/power.h"
 
 #include "bench_common.h"
@@ -32,18 +34,27 @@ int main(int argc, char** argv) {
                             "dyn[uW]", "leak[uW]", "total[uW]",
                             "energy/op[fJ]", "vs exact[%]"});
 
-  // Exact first, as the baseline.
-  double exactEnergy = 0.0;
-  std::vector<std::pair<circuits::SynthesizedDesign, timing::PowerReport>>
-      results;
-  for (const auto& cfg : core::paperDesigns()) {
-    auto design = circuits::synthesize(cfg, lib, circuits::SynthesisOptions{});
+  // Per-design synthesis + power simulation is independent (the stimulus
+  // vector is shared read-only), so fan it out across the pool; the exact
+  // adder's baseline energy is picked out afterwards.
+  const auto configs = core::paperDesigns();
+  std::vector<
+      std::optional<std::pair<circuits::SynthesizedDesign, timing::PowerReport>>>
+      results(configs.size());
+  experiments::GridScheduler pool(bench::threadsOption(args));
+  pool.run(configs.size(), [&](std::size_t i) {
+    auto design =
+        circuits::synthesize(configs[i], lib, circuits::SynthesisOptions{});
     const auto report =
         measurePower(design.netlist, design.delays, power, 0.3, stimuli);
-    if (cfg.exact) exactEnergy = report.energyPerOpFj;
-    results.emplace_back(std::move(design), report);
+    results[i] = {std::move(design), report};
+  });
+  double exactEnergy = 0.0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (configs[i].exact) exactEnergy = results[i]->second.energyPerOpFj;
   }
-  for (const auto& [design, report] : results) {
+  for (const auto& entry : results) {
+    const auto& [design, report] = *entry;
     const double savings =
         exactEnergy > 0.0
             ? (1.0 - report.energyPerOpFj / exactEnergy) * 100.0

@@ -137,7 +137,14 @@ netlist::Netlist buildIsaNetlist(const core::IsaConfig& cfg,
 
 std::vector<std::uint8_t> packOperands(std::uint64_t a, std::uint64_t b,
                                        bool carryIn, int width) {
-  std::vector<std::uint8_t> in(static_cast<std::size_t>(2 * width + 1));
+  std::vector<std::uint8_t> in;
+  packOperandsInto(a, b, carryIn, width, in);
+  return in;
+}
+
+void packOperandsInto(std::uint64_t a, std::uint64_t b, bool carryIn,
+                      int width, std::vector<std::uint8_t>& in) {
+  in.resize(static_cast<std::size_t>(2 * width + 1));
   for (int i = 0; i < width; ++i) {
     in[static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>((a >> i) & 1u);
@@ -145,7 +152,6 @@ std::vector<std::uint8_t> packOperands(std::uint64_t a, std::uint64_t b,
         static_cast<std::uint8_t>((b >> i) & 1u);
   }
   in[static_cast<std::size_t>(2 * width)] = carryIn ? 1 : 0;
-  return in;
 }
 
 std::uint64_t unpackSum(std::span<const std::uint8_t> outputs, int width) {

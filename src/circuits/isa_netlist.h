@@ -46,6 +46,11 @@ struct IsaBuildOptions {
                                                      std::uint64_t b,
                                                      bool carryIn, int width);
 
+/// Allocation-free packOperands for per-cycle hot loops: `in` is resized
+/// once and reused across calls.
+void packOperandsInto(std::uint64_t a, std::uint64_t b, bool carryIn,
+                      int width, std::vector<std::uint8_t>& in);
+
 /// Extracts the width-bit sum from the primary-output vector.
 [[nodiscard]] std::uint64_t unpackSum(std::span<const std::uint8_t> outputs,
                                       int width);

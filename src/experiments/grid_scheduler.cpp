@@ -1,0 +1,82 @@
+#include "experiments/grid_scheduler.h"
+
+#include <algorithm>
+
+namespace oisa::experiments {
+
+GridScheduler::GridScheduler(unsigned threads) {
+  unsigned n = threads == 0 ? std::thread::hardware_concurrency() : threads;
+  if (n == 0) n = 1;
+  threadCount_ = n;
+  workers_.reserve(n - 1);
+  for (unsigned i = 0; i + 1 < n; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+GridScheduler::~GridScheduler() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void GridScheduler::drain() {
+  for (std::size_t i = next_.fetch_add(1); i < count_;
+       i = next_.fetch_add(1)) {
+    try {
+      (*task_)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+      next_.store(count_);  // cancel unclaimed cells
+    }
+  }
+}
+
+void GridScheduler::workerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    lock.unlock();
+    drain();
+    lock.lock();
+    if (--busy_ == 0) done_.notify_one();
+  }
+}
+
+void GridScheduler::run(std::size_t count,
+                        const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    // Serial degradation: no synchronization, exceptions propagate as-is.
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &task;
+    count_ = count;
+    next_.store(0);
+    busy_ = static_cast<unsigned>(workers_.size());
+    error_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+  drain();  // the calling thread claims cells too
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return busy_ == 0; });
+  task_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace oisa::experiments

@@ -1,0 +1,71 @@
+// oisa_experiments: deterministic thread pool for experiment grids.
+//
+// The figure pipelines sweep a (design × CPR) grid where every cell owns
+// its full state — seeded workload, timed simulator, statistics — so cells
+// can run in any order on any thread and still produce bit-identical
+// results. GridScheduler is the worker pool that fans those cells out:
+// workers are spawned once per scheduler and reused by every run() call
+// made on it, cells are claimed from an atomic counter, and the calling
+// thread works alongside the pool so `threads == 1` degrades to the
+// plain serial loop. Current callers scope one scheduler per sweep
+// (sized to the grid by runner.cpp's runParallel); longer-lived sharing
+// across sweeps is supported but not yet used.
+//
+// Determinism contract: a task must derive all randomness from its cell
+// index (e.g. `options.seed + offset`), never from shared mutable state or
+// the worker identity. Under that contract the grid result is a pure
+// function of (inputs, seed) — verified at 1/2/8 threads by
+// tests/wheel_sim_test.cpp.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace oisa::experiments {
+
+/// Persistent worker pool distributing independent grid cells.
+class GridScheduler {
+ public:
+  /// `threads` — total worker count including the calling thread;
+  /// 0 = hardware concurrency.
+  explicit GridScheduler(unsigned threads = 0);
+  ~GridScheduler();
+
+  GridScheduler(const GridScheduler&) = delete;
+  GridScheduler& operator=(const GridScheduler&) = delete;
+
+  /// Total workers (calling thread included).
+  [[nodiscard]] unsigned threadCount() const noexcept { return threadCount_; }
+
+  /// Runs task(0..count-1) across the pool and blocks until every cell
+  /// finished. The first exception thrown by a task cancels the remaining
+  /// unclaimed cells and is rethrown here on the calling thread.
+  void run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+ private:
+  void workerLoop();
+  void drain();
+
+  unsigned threadCount_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* task_ = nullptr;  // current job
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  unsigned busy_ = 0;          // workers still draining the current job
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace oisa::experiments

@@ -2,11 +2,11 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <thread>
 
 #include "core/bit_distribution.h"
 #include "core/isa_adder.h"
+#include "experiments/grid_scheduler.h"
 #include "experiments/trace_collector.h"
 #include "netlist/batch_evaluator.h"
 
@@ -19,31 +19,19 @@ std::unique_ptr<Workload> workloadFor(const RunOptions& options, int width,
   return makeWorkload(options.workload, width, options.seed + seedOffset);
 }
 
-/// Runs task(0..count-1) across `threads` workers (0 = hardware
-/// concurrency). Tasks must be independent.
+/// Fans task(0..count-1) out across a GridScheduler pool sized to the
+/// grid (never more workers than cells). Every cell owns its seeded
+/// workload and simulator, so results are bit-identical at any thread
+/// count.
 template <typename Task>
 void runParallel(std::size_t count, unsigned threads, Task&& task) {
-  unsigned workers = threads == 0 ? std::thread::hardware_concurrency()
-                                  : threads;
+  unsigned workers =
+      threads == 0 ? std::thread::hardware_concurrency() : threads;
   if (workers == 0) workers = 1;
   workers = static_cast<unsigned>(
-      std::min<std::size_t>(workers, count == 0 ? 1 : count));
-  if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) task(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (std::size_t i = next.fetch_add(1); i < count;
-           i = next.fetch_add(1)) {
-        task(i);
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
+      std::min<std::size_t>(workers, std::max<std::size_t>(count, 1)));
+  GridScheduler pool(workers);
+  pool.run(count, task);
 }
 
 }  // namespace

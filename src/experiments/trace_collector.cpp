@@ -12,16 +12,22 @@ predict::Trace collectTrace(const circuits::SynthesizedDesign& design,
   const core::IsaAdder behavioral(design.config);
   timing::ClockedSampler sampler(design.netlist, design.delays, periodNs);
 
+  // Reusable input/output buffers: the per-cycle loop performs no heap
+  // allocation (trace growth aside), keeping the wheel engine's event
+  // processing the only per-cycle cost.
+  std::vector<std::uint8_t> inputs;
+  std::vector<std::uint8_t> outputs;
+
   const Stimulus reset = workload.next();
-  sampler.initialize(
-      circuits::packOperands(reset.a, reset.b, reset.carryIn, width));
+  circuits::packOperandsInto(reset.a, reset.b, reset.carryIn, width, inputs);
+  sampler.initialize(inputs);
 
   predict::Trace trace;
   trace.reserve(cycles);
   for (std::uint64_t t = 0; t < cycles; ++t) {
     const Stimulus stim = workload.next();
-    const auto outputs = sampler.step(
-        circuits::packOperands(stim.a, stim.b, stim.carryIn, width));
+    circuits::packOperandsInto(stim.a, stim.b, stim.carryIn, width, inputs);
+    sampler.stepInto(inputs, outputs);
 
     predict::TraceRecord rec;
     rec.a = stim.a;

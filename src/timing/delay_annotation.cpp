@@ -14,6 +14,14 @@ DelayAnnotation::DelayAnnotation(const netlist::Netlist& nl,
   }
 }
 
+std::vector<TimePs> DelayAnnotation::quantizedDelaysPs() const {
+  std::vector<TimePs> ps(delays_.size());
+  for (std::size_t i = 0; i < delays_.size(); ++i) {
+    ps[i] = quantizeDelayPs(delays_[i]);
+  }
+  return ps;
+}
+
 void DelayAnnotation::applyVariation(std::mt19937_64& rng, double sigma,
                                      double floorFactor) {
   std::normal_distribution<double> dist(0.0, sigma);

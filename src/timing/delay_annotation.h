@@ -16,6 +16,33 @@
 
 namespace oisa::timing {
 
+/// Simulation time in integer picoseconds. The timed engines run entirely
+/// on this grid: delays are quantized once at simulator construction and
+/// every event timestamp is an exact integer, so event ordering and
+/// latch-edge comparisons are exact (no floating-point epsilons).
+using TimePs = std::int64_t;
+
+/// Picoseconds per nanosecond (the annotation/STA unit).
+inline constexpr double kPsPerNs = 1000.0;
+
+/// Quantizes a gate delay to the integer-ps grid, flooring. Flooring keeps
+/// every quantized path no longer than its STA length, so the sign-off
+/// period remains an upper bound on settle time after quantization. The
+/// small tolerance absorbs binary representation noise (0.011 ns must map
+/// to 11 ps, not 10).
+[[nodiscard]] inline TimePs quantizeDelayPs(double ns) noexcept {
+  return static_cast<TimePs>(ns * kPsPerNs + 1e-6);
+}
+
+/// Quantizes a time span (clock period, advance delta) to the grid,
+/// rounding up: "advance past t" must still advance past t after
+/// quantization, however small the requested overshoot.
+[[nodiscard]] inline TimePs quantizeSpanPs(double ns) noexcept {
+  const double ps = ns * kPsPerNs;
+  const auto floor = static_cast<TimePs>(ps + 1e-6);
+  return static_cast<double>(floor) + 1e-6 >= ps ? floor : floor + 1;
+}
+
 /// Per-gate-instance propagation delays for one netlist.
 class DelayAnnotation {
  public:
@@ -25,6 +52,15 @@ class DelayAnnotation {
   [[nodiscard]] double delayNs(netlist::GateId gate) const {
     return delays_.at(gate.value);
   }
+
+  /// This instance's delay on the integer-picosecond simulation grid.
+  [[nodiscard]] TimePs delayPs(netlist::GateId gate) const {
+    return quantizeDelayPs(delays_.at(gate.value));
+  }
+
+  /// All instance delays quantized to the grid, indexed by GateId (bulk
+  /// form consumed by the timed engines at construction).
+  [[nodiscard]] std::vector<TimePs> quantizedDelaysPs() const;
   void setDelayNs(netlist::GateId gate, double ns) {
     delays_.at(gate.value) = ns;
   }

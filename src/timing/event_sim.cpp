@@ -1,6 +1,7 @@
 #include "timing/event_sim.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "netlist/evaluator.h"
@@ -14,11 +15,79 @@ using netlist::NetId;
 
 TimedSimulator::TimedSimulator(const Netlist& nl,
                                const DelayAnnotation& delays)
-    : nl_(nl), delays_(delays), fanout_(nl.fanoutMap()) {
+    : nl_(nl) {
   if (delays.gateCount() != nl.gateCount()) {
     throw std::invalid_argument(
         "TimedSimulator: annotation does not match netlist");
   }
+  inputNets_.reserve(nl.primaryInputs().size());
+  for (const NetId pi : nl.primaryInputs()) inputNets_.push_back(pi.value);
+  // Flatten gates into dense 16-byte records: packed evaluation word,
+  // output net, quantized delay.
+  const std::vector<TimePs> delaysPs = delays.quantizedDelaysPs();
+  TimePs maxDelay = 0;
+  gates_.resize(nl.gateCount());
+  for (std::uint32_t gi = 0; gi < nl.gateCount(); ++gi) {
+    const Gate& g = nl.gateAt(GateId{gi});
+    const TimePs d = delaysPs[gi];
+    if (d < 0 || d > kMaxDelayPs) {
+      throw std::invalid_argument(
+          "TimedSimulator: gate delay outside supported range [0, ~1us]");
+    }
+    std::uint32_t truth = 0;
+    for (unsigned m = 0; m < 8; ++m) {
+      if (netlist::evalGate(g.kind, (m & 1) != 0, (m & 2) != 0,
+                            (m & 4) != 0)) {
+        truth |= 1u << m;
+      }
+    }
+    gates_[gi] = GateRec{truth << kTruthShift, g.out.value,
+                         static_cast<std::uint32_t>(d)};
+    maxDelay = std::max(maxDelay, d);
+  }
+  // CSR fanout: for each net, the gates reading it, with the minterm bits
+  // the net drives packed into the entry's low bits. A net wired to
+  // several pins of one gate becomes a single entry with the merged mask,
+  // so one committed change updates the whole minterm before the gate is
+  // re-evaluated (the per-pin duplicates in Netlist::fanoutMap are
+  // adjacent, which makes the merge a one-entry lookback).
+  fanoutOffset_.assign(nl.netCount() + 1, 0);
+  constexpr std::uint32_t kNoGate = 0xffffffff;
+  std::vector<std::uint32_t> lastGate(nl.netCount(), kNoGate);
+  for (std::uint32_t gi = 0; gi < nl.gateCount(); ++gi) {
+    for (const NetId in : nl.gateAt(GateId{gi}).inputs()) {
+      if (lastGate[in.value] != gi) {
+        lastGate[in.value] = gi;
+        ++fanoutOffset_[in.value + 1];
+      }
+    }
+  }
+  for (std::size_t i = 1; i < fanoutOffset_.size(); ++i) {
+    fanoutOffset_[i] += fanoutOffset_[i - 1];
+  }
+  readers_.resize(fanoutOffset_.back());
+  std::vector<std::uint32_t> cursor(fanoutOffset_.begin(),
+                                    fanoutOffset_.end() - 1);
+  std::fill(lastGate.begin(), lastGate.end(), kNoGate);
+  for (std::uint32_t gi = 0; gi < nl.gateCount(); ++gi) {
+    const auto ins = nl.gateAt(GateId{gi}).inputs();
+    for (std::size_t pin = 0; pin < ins.size(); ++pin) {
+      const std::uint32_t net = ins[pin].value;
+      const auto mask = static_cast<std::uint32_t>(1u << pin);
+      if (lastGate[net] == gi) {
+        readers_[cursor[net] - 1] |= mask;  // merge multi-pin connection
+      } else {
+        lastGate[net] = gi;
+        readers_[cursor[net]++] = (gi << 3) | mask;
+      }
+    }
+  }
+  // All pending events lie within maxDelay of the processing cursor, so a
+  // power-of-two wheel strictly larger than maxDelay never aliases two
+  // distinct pending timestamps to one slot.
+  const auto slots = std::bit_ceil(static_cast<std::uint64_t>(maxDelay) + 1);
+  wheel_.resize(slots);
+  wheelMask_ = static_cast<std::uint32_t>(slots - 1);
   reset();
 }
 
@@ -29,104 +98,162 @@ void TimedSimulator::reset() {
   const netlist::Evaluator eval(nl_);
   std::vector<std::uint8_t> zeros(nl_.primaryInputs().size(), 0);
   values_ = eval.evaluate(zeros);
-  heap_.clear();
-  now_ = 0.0;
-  seq_ = 0;
+  for (std::uint32_t gi = 0; gi < nl_.gateCount(); ++gi) {
+    const Gate& g = nl_.gateAt(GateId{gi});
+    const auto ins = g.inputs();
+    std::uint32_t minterm = 0;
+    for (std::size_t pin = 0; pin < ins.size(); ++pin) {
+      if (values_[ins[pin].value] != 0) minterm |= 1u << pin;
+    }
+    std::uint32_t s = gates_[gi].state;
+    s &= ~(kMintermMask | (1u << kLastSchedShift));
+    s |= minterm;
+    s |= static_cast<std::uint32_t>(values_[g.out.value]) << kLastSchedShift;
+    gates_[gi].state = s;
+  }
+  for (Slot& slot : wheel_) slot.len = 0;
+  pending_ = 0;
+  now_ = 0;
+  cursor_ = 0;
   eventCount_ = 0;
-  lastScheduled_ = values_;
 }
 
 void TimedSimulator::applyInputs(std::span<const std::uint8_t> inputValues) {
-  const auto pis = nl_.primaryInputs();
-  if (inputValues.size() != pis.size()) {
+  if (inputValues.size() != inputNets_.size()) {
     throw std::invalid_argument("TimedSimulator: wrong input vector size");
   }
-  for (std::size_t i = 0; i < pis.size(); ++i) {
+  for (std::size_t i = 0; i < inputNets_.size(); ++i) {
     const std::uint8_t v = inputValues[i] ? 1 : 0;
-    if (values_[pis[i].value] != v) {
-      values_[pis[i].value] = v;
-      lastScheduled_[pis[i].value] = v;
-      if (observer_) observer_(now_, pis[i], v != 0);
-      scheduleReaders(pis[i], now_);
+    const std::uint32_t net = inputNets_[i];
+    if (values_[net] != v) {
+      values_[net] = v;
+      if (observer_) observer_(nowNs(), NetId{net}, v != 0);
+      scheduleReaders(net, v, now_);
     }
   }
 }
 
-void TimedSimulator::scheduleReaders(NetId net, double atTime) {
-  for (GateId reader : fanout_[net.value]) {
-    const Gate& g = nl_.gateAt(reader);
-    const auto ins = g.inputs();
-    const bool a = !ins.empty() && values_[ins[0].value] != 0;
-    const bool b = ins.size() > 1 && values_[ins[1].value] != 0;
-    const bool c = ins.size() > 2 && values_[ins[2].value] != 0;
-    const std::uint8_t out = evalGate(g.kind, a, b, c) ? 1 : 0;
+void TimedSimulator::scheduleReaders(std::uint32_t net, std::uint32_t value,
+                                     TimePs atTime) {
+  const std::uint32_t begin = fanoutOffset_[net];
+  const std::uint32_t end = fanoutOffset_[net + 1];
+  for (std::uint32_t i = begin; i < end; ++i) {
+    const std::uint32_t entry = readers_[i];
+    GateRec& rec = gates_[entry >> 3];
+    const std::uint32_t mask = entry & kMintermMask;
+    // The whole body is branchless: both `value` and whether the gate
+    // output flips are data-dependent coin tosses, so conditionals here
+    // would mispredict ~half the time. The event is stored
+    // unconditionally and the slot length advances by `changed` (a no-op
+    // store is simply overwritten by the next append).
+    std::uint32_t s = (rec.state & ~mask) | (mask & (0u - value));
+    const std::uint32_t out = (s >> (kTruthShift + (s & kMintermMask))) & 1u;
     // Every net has a single driver with a fixed transport delay, so events
-    // for a net are always pushed in non-decreasing time order; scheduling
-    // a value equal to the last scheduled one would be a no-op at pop time.
-    if (lastScheduled_[g.out.value] == out) continue;
-    lastScheduled_[g.out.value] = out;
-    heap_.push_back(Event{atTime + delays_.delayNs(reader), g.out.value, out,
-                          seq_++});
-    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    // for a net are always scheduled in non-decreasing time order;
+    // scheduling a value equal to the last scheduled one would be a no-op
+    // at drain time — `changed` is the schedule-time dedup.
+    const std::uint32_t changed = ((s >> kLastSchedShift) ^ out) & 1u;
+    s ^= changed << kLastSchedShift;
+    rec.state = s;
+    Slot& slot = wheel_[(atTime + rec.delayPs) & wheelMask_];
+    if (slot.len == slot.data.size()) [[unlikely]] {
+      slot.data.resize(std::max<std::size_t>(8, slot.data.size() * 2));
+    }
+    slot.data[slot.len] = SlotEvent{rec.out, out};
+    slot.len += changed;
+    pending_ += changed;
   }
 }
 
-void TimedSimulator::runUntil(double horizon) {
-  while (!heap_.empty() && heap_.front().time < horizon) {
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-    const Event e = heap_.back();
-    heap_.pop_back();
+void TimedSimulator::drainSlot(TimePs t) {
+  Slot& slot = wheel_[t & wheelMask_];
+  // Zero-delay gates append to this same slot mid-drain; the index loop
+  // picks those up in schedule order (and an append may reallocate the
+  // backing store, so the event is copied out first).
+  for (std::uint32_t i = 0; i < slot.len; ++i) {
+    const SlotEvent e = slot.data[i];
     if (values_[e.net] == e.value) continue;
-    values_[e.net] = e.value;
+    values_[e.net] = static_cast<std::uint8_t>(e.value);
     ++eventCount_;
-    if (observer_) observer_(e.time, NetId{e.net}, e.value != 0);
-    scheduleReaders(NetId{e.net}, e.time);
+    if (observer_) [[unlikely]] {
+      observer_(static_cast<double>(t) / kPsPerNs, NetId{e.net},
+                e.value != 0);
+    }
+    scheduleReaders(e.net, e.value, t);
   }
+  pending_ -= slot.len;
+  slot.len = 0;
 }
 
-void TimedSimulator::advance(double deltaNs) {
-  const double horizon = now_ + deltaNs;
-  runUntil(horizon);
-  now_ = horizon;
+void TimedSimulator::runUntil(TimePs horizon) {
+  while (pending_ > 0 && cursor_ < horizon) {
+    drainSlot(cursor_);
+    ++cursor_;
+  }
+  if (cursor_ < horizon) cursor_ = horizon;  // nothing pending: skip ahead
 }
 
-double TimedSimulator::settle() {
-  double last = now_;
-  while (!heap_.empty()) {
-    last = std::max(last, heap_.front().time);
-    runUntil(heap_.front().time + 1e-12);
+void TimedSimulator::advancePs(TimePs deltaPs) {
+  if (deltaPs < 0) {
+    throw std::invalid_argument("TimedSimulator: negative advance");
+  }
+  runUntil(now_ + deltaPs);
+  now_ += deltaPs;
+}
+
+TimePs TimedSimulator::settlePs() {
+  TimePs last = now_;
+  while (pending_ > 0) {
+    if (wheel_[cursor_ & wheelMask_].len != 0) last = cursor_;
+    drainSlot(cursor_);
+    ++cursor_;
   }
   now_ = std::max(now_, last);
+  cursor_ = now_;  // re-arm: zero-delay events at `now_` must still drain
   return last;
 }
 
 std::vector<std::uint8_t> TimedSimulator::sampleOutputs() const {
+  std::vector<std::uint8_t> out;
+  sampleOutputsInto(out);
+  return out;
+}
+
+void TimedSimulator::sampleOutputsInto(std::vector<std::uint8_t>& out) const {
   const auto pos = nl_.primaryOutputs();
-  std::vector<std::uint8_t> out(pos.size());
+  out.resize(pos.size());
   for (std::size_t i = 0; i < pos.size(); ++i) {
     out[i] = values_[pos[i].value];
   }
-  return out;
 }
 
 ClockedSampler::ClockedSampler(const Netlist& nl,
                                const DelayAnnotation& delays, double periodNs)
-    : sim_(nl, delays), periodNs_(periodNs) {
-  if (periodNs <= 0.0) {
+    : sim_(nl, delays),
+      periodNs_(periodNs),
+      periodPs_(quantizeSpanPs(periodNs)) {
+  if (periodNs <= 0.0 || periodPs_ <= 0) {
     throw std::invalid_argument("ClockedSampler: period must be positive");
   }
 }
 
 void ClockedSampler::initialize(std::span<const std::uint8_t> inputValues) {
   sim_.applyInputs(inputValues);
-  sim_.settle();
+  (void)sim_.settlePs();
 }
 
 std::vector<std::uint8_t> ClockedSampler::step(
     std::span<const std::uint8_t> inputValues) {
   sim_.applyInputs(inputValues);
-  sim_.advance(periodNs_);
+  sim_.advancePs(periodPs_);
   return sim_.sampleOutputs();
+}
+
+void ClockedSampler::stepInto(std::span<const std::uint8_t> inputValues,
+                              std::vector<std::uint8_t>& out) {
+  sim_.applyInputs(inputValues);
+  sim_.advancePs(periodPs_);
+  sim_.sampleOutputsInto(out);
 }
 
 }  // namespace oisa::timing

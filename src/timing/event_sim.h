@@ -7,6 +7,21 @@
 // the edge latches whatever value the net holds at that instant — exactly
 // the overclocking timing-error mechanism studied by the paper, including
 // its dependence on the previous cycle's state.
+//
+// Engine: integer-picosecond calendar-queue time wheel. Delays are
+// quantized to the ps grid once at construction (DelayAnnotation::
+// quantizedDelaysPs), so every event timestamp is an exact integer and
+// the strictly-before latch-edge comparison needs no epsilon. Because a
+// net's pending events never lie more than the maximum gate delay ahead
+// of the processing cursor, a power-of-two wheel sized past that delay
+// holds at most one distinct timestamp per slot and event extraction is
+// O(1) — no heap, no comparisons, no allocation in steady state. Fanout
+// is flattened to CSR arrays and gate functions to 8-entry truth tables,
+// so the hot loop touches only dense per-simulator storage.
+//
+// The seed binary-heap engine is retained verbatim (on the same ps grid)
+// as timing::HeapSimulator in heap_sim.h for differential tests and the
+// micro_timed_sim benchmark.
 #pragma once
 
 #include <cstdint>
@@ -19,10 +34,12 @@
 
 namespace oisa::timing {
 
-/// Continuous-time event-driven simulator over one netlist.
+/// Integer-time event-driven simulator over one netlist.
 ///
 /// Typical use goes through ClockedSampler; the raw interface is exposed
-/// for tests and custom experiments.
+/// for tests and custom experiments. The double-valued methods
+/// (advance/settle/nowNs) quantize to the ps grid via quantizeSpanPs and
+/// remain for API compatibility; hot paths should use the *Ps forms.
 class TimedSimulator {
  public:
   TimedSimulator(const netlist::Netlist& nl, const DelayAnnotation& delays);
@@ -31,24 +48,38 @@ class TimedSimulator {
   void applyInputs(std::span<const std::uint8_t> inputValues);
 
   /// Advances simulation, processing all events strictly before
-  /// `currentTime + deltaNs`, then sets current time to that instant.
-  void advance(double deltaNs);
+  /// `currentTime + deltaPs`, then sets current time to that instant.
+  void advancePs(TimePs deltaPs);
+
+  /// Nanosecond convenience form of advancePs (delta rounds up to the
+  /// grid, so advancing past an event time still passes it).
+  void advance(double deltaNs) { advancePs(quantizeSpanPs(deltaNs)); }
 
   /// Processes every pending event (unbounded settle). Returns the
-  /// timestamp of the last processed event relative to the call.
-  double settle();
+  /// timestamp of the last processed event.
+  TimePs settlePs();
+
+  /// Nanosecond form of settlePs.
+  double settle() { return static_cast<double>(settlePs()) / kPsPerNs; }
 
   /// Current value of each primary output, in declaration order.
   [[nodiscard]] std::vector<std::uint8_t> sampleOutputs() const;
 
+  /// Allocation-free sampling: writes the primary-output values into
+  /// `out` (resized once to the output count, then reused).
+  void sampleOutputsInto(std::vector<std::uint8_t>& out) const;
+
   /// Current value of an arbitrary net.
-  [[nodiscard]] bool netValue(netlist::NetId net) const {
-    return values_.at(net.value) != 0;
+  [[nodiscard]] bool netValue(netlist::NetId net) const noexcept {
+    return values_[net.value] != 0;
   }
 
-  [[nodiscard]] double nowNs() const noexcept { return now_; }
+  [[nodiscard]] TimePs nowPs() const noexcept { return now_; }
+  [[nodiscard]] double nowNs() const noexcept {
+    return static_cast<double>(now_) / kPsPerNs;
+  }
 
-  /// Number of events processed since construction (perf counter).
+  /// Number of committed net changes since construction (perf counter).
   [[nodiscard]] std::uint64_t eventsProcessed() const noexcept {
     return eventCount_;
   }
@@ -70,29 +101,70 @@ class TimedSimulator {
   }
 
  private:
-  struct Event {
-    double time;
-    std::uint32_t net;
-    std::uint8_t value;
-    std::uint64_t seq;  ///< tie-breaker: same-time events apply in schedule order
+  /// Dense per-gate record, 16 bytes so one reader evaluation touches one
+  /// cache line. `state` packs the hot evaluation word:
+  ///   bits 0-2   current input minterm (maintained incrementally as
+  ///              driving nets commit),
+  ///   bits 3-10  the gate function as an 8-entry truth table,
+  ///   bit  11    last scheduled output value (the schedule-time dedup of
+  ///              the seed engine, reindexed from output net to gate —
+  ///              every gate output net has exactly one driver).
+  struct GateRec {
+    std::uint32_t state;
+    std::uint32_t out;      ///< output net index
+    std::uint32_t delayPs;  ///< quantized transport delay
+    std::uint32_t pad_ = 0;
+  };
+  /// Largest supported transport delay (~1 us). The wheel's slot count
+  /// scales with the maximum gate delay, so this bound both keeps memory
+  /// sane (<= 2^20 slots) and guards the narrowing into GateRec::delayPs
+  /// — construction throws beyond it instead of silently wrapping.
+  static constexpr TimePs kMaxDelayPs = TimePs{1} << 20;
+  static constexpr std::uint32_t kMintermMask = 0x7;
+  static constexpr unsigned kTruthShift = 3;
+  static constexpr unsigned kLastSchedShift = 11;
 
-    [[nodiscard]] bool operator>(const Event& o) const noexcept {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
+  /// One scheduled net change; its timestamp is implied by the wheel slot.
+  struct SlotEvent {
+    std::uint32_t net;
+    std::uint32_t value;
   };
 
-  void scheduleReaders(netlist::NetId net, double atTime);
-  void runUntil(double horizon);  // processes events with time < horizon
+  /// Wheel slot with an explicit length so the schedule path can do a
+  /// branchless conditional append (unconditional store, length advanced
+  /// by 0 or 1): `data.size()` is the capacity, `len` the live prefix.
+  struct Slot {
+    std::vector<SlotEvent> data;
+    std::uint32_t len = 0;
+  };
+
+  // Hot path: force-inlined into the drain loop — the per-event call
+  // overhead is measurable at ~450 events/cycle.
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((always_inline))
+#endif
+  inline void
+  scheduleReaders(std::uint32_t net, std::uint32_t value, TimePs atTime);
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((always_inline))
+#endif
+  inline void
+  drainSlot(TimePs t);
+  void runUntil(TimePs horizon);  // processes events with time < horizon
 
   const netlist::Netlist& nl_;
-  const DelayAnnotation& delays_;
-  std::vector<std::vector<netlist::GateId>> fanout_;
-  std::vector<std::uint8_t> values_;        // indexed by NetId
-  std::vector<std::uint8_t> lastScheduled_; // last scheduled value per net
-  std::vector<Event> heap_;                 // min-heap on (time, seq)
-  double now_ = 0.0;
-  std::uint64_t seq_ = 0;
+  std::vector<GateRec> gates_;               // indexed by GateId
+  std::vector<std::uint32_t> fanoutOffset_;  // CSR offsets, size netCount+1
+  /// CSR payload: reader gate id << 3 | minterm bits this net drives
+  /// (multi-pin connections merged into one entry).
+  std::vector<std::uint32_t> readers_;
+  std::vector<std::uint32_t> inputNets_;  // primary-input net indices
+  std::vector<std::uint8_t> values_;      // indexed by NetId
+  std::vector<Slot> wheel_;
+  std::uint32_t wheelMask_ = 0;
+  std::uint64_t pending_ = 0;  // events currently in the wheel
+  TimePs now_ = 0;             // simulation frontier
+  TimePs cursor_ = 0;          // next tick to scan (<= first pending event)
   std::uint64_t eventCount_ = 0;
   std::function<void(double, netlist::NetId, bool)> observer_;
 };
@@ -103,7 +175,8 @@ class TimedSimulator {
 /// errors exactly like hardware.
 class ClockedSampler {
  public:
-  /// `periodNs` — the (possibly overclocked) clock period.
+  /// `periodNs` — the (possibly overclocked) clock period; quantized once
+  /// to the ps grid (rounding up) and reused for every step.
   ClockedSampler(const netlist::Netlist& nl, const DelayAnnotation& delays,
                  double periodNs);
 
@@ -115,12 +188,18 @@ class ClockedSampler {
   [[nodiscard]] std::vector<std::uint8_t> step(
       std::span<const std::uint8_t> inputValues);
 
+  /// Allocation-free step for hot loops: latched outputs land in `out`.
+  void stepInto(std::span<const std::uint8_t> inputValues,
+                std::vector<std::uint8_t>& out);
+
   [[nodiscard]] double periodNs() const noexcept { return periodNs_; }
+  [[nodiscard]] TimePs periodPs() const noexcept { return periodPs_; }
   [[nodiscard]] TimedSimulator& simulator() noexcept { return sim_; }
 
  private:
   TimedSimulator sim_;
   double periodNs_;
+  TimePs periodPs_;
 };
 
 }  // namespace oisa::timing
