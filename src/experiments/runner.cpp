@@ -86,7 +86,11 @@ std::vector<PredictionRow> runPredictionEvaluation(
     const double cpr = cprPercents[point % cprPercents.size()];
     const double period =
         overclockedPeriodNs(options.run.signOffPeriodNs, cpr);
-    // Train and test stimuli come from differently-seeded streams.
+    // Train and test stimuli come from differently-seeded streams. The
+    // predictor's fit/evaluate below run on the packed ML substrate (one
+    // shared column matrix per trace, popcount training, 64-lane batched
+    // evaluation); results are bit-identical to the per-row pipeline it
+    // replaced — see bench/micro_forest.cpp for the differential gate.
     auto trainWorkload = workloadFor(options.run, design.config.width, 1);
     auto testWorkload = workloadFor(options.run, design.config.width, 2);
     const predict::Trace trainTrace =

@@ -1,12 +1,45 @@
 #include "ml/dataset.h"
 
+#include <bit>
 #include <numeric>
 
 namespace oisa::ml {
 
+std::size_t PackedView::positiveCount() const noexcept {
+  std::size_t pos = 0;
+  for (std::size_t w = 0; w < wordCount; ++w) pos += std::popcount(labels[w]);
+  return pos;
+}
+
 std::size_t Dataset::positiveCount() const noexcept {
   return static_cast<std::size_t>(
       std::accumulate(labels_.begin(), labels_.end(), std::size_t{0}));
+}
+
+const PackedView& Dataset::packed() const {
+  if (!packedDirty_) return packedView_;
+  const std::size_t rows = rowCount();
+  const std::size_t words = (rows + 63) / 64;
+  // featureCount_ feature columns followed by the label column.
+  packedStorage_.assign((featureCount_ + 1) * words, 0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::uint64_t bit = std::uint64_t{1} << (r % 64);
+    const std::size_t w = r / 64;
+    const std::uint8_t* row = data_.data() + r * featureCount_;
+    for (std::size_t f = 0; f < featureCount_; ++f) {
+      if (row[f] != 0) packedStorage_[f * words + w] |= bit;
+    }
+    if (labels_[r] != 0) packedStorage_[featureCount_ * words + w] |= bit;
+  }
+  packedView_.rowCount = rows;
+  packedView_.wordCount = words;
+  packedView_.columns.resize(featureCount_);
+  for (std::size_t f = 0; f < featureCount_; ++f) {
+    packedView_.columns[f] = packedStorage_.data() + f * words;
+  }
+  packedView_.labels = packedStorage_.data() + featureCount_ * words;
+  packedDirty_ = false;
+  return packedView_;
 }
 
 }  // namespace oisa::ml

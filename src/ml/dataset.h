@@ -2,7 +2,14 @@
 //
 // The timing-error prediction features of the paper are all single bits
 // (operand bits of the current and previous cycle, plus two RTL output
-// bits), so features are stored as bytes in a dense row-major matrix.
+// bits), so the dataset carries two synchronized representations:
+//
+//  * a dense row-major byte matrix (one byte per feature) — the layout the
+//    scalar reference paths and the tests address row by row, and
+//  * a column-major *packed* view — one `uint64_t` word per 64 rows per
+//    feature, labels packed the same way — the substrate of the popcount
+//    CART trainer and the 64-lane batched forest inference
+//    (the BatchEvaluator playbook applied to the ML layer).
 #pragma once
 
 #include <cstdint>
@@ -11,6 +18,23 @@
 #include <vector>
 
 namespace oisa::ml {
+
+/// Non-owning column-major packed view of a binary dataset. Column f is
+/// `wordCount` words; bit (r % 64) of word (r / 64) holds feature f of row
+/// r. Labels are packed identically. Tail bits past `rowCount` are zero —
+/// trainers and batched predictors rely on that invariant.
+struct PackedView {
+  std::size_t rowCount = 0;
+  std::size_t wordCount = 0;                  ///< ceil(rowCount / 64)
+  std::vector<const std::uint64_t*> columns;  ///< one pointer per feature
+  const std::uint64_t* labels = nullptr;      ///< wordCount words
+
+  [[nodiscard]] std::size_t featureCount() const noexcept {
+    return columns.size();
+  }
+  /// Number of positive labels (a popcount over the label words).
+  [[nodiscard]] std::size_t positiveCount() const noexcept;
+};
 
 /// Dense binary-feature dataset with boolean labels.
 class Dataset {
@@ -21,12 +45,55 @@ class Dataset {
     }
   }
 
+  // The packed cache holds pointers into this object's own storage, so
+  // copies must not inherit it (they rebuild on demand); moves keep it —
+  // the pointed-to heap buffer transfers — but re-dirty the source.
+  Dataset(const Dataset& other)
+      : featureCount_(other.featureCount_),
+        data_(other.data_),
+        labels_(other.labels_) {}
+  Dataset& operator=(const Dataset& other) {
+    if (this != &other) {
+      featureCount_ = other.featureCount_;
+      data_ = other.data_;
+      labels_ = other.labels_;
+      packedStorage_.clear();
+      packedView_ = {};
+      packedDirty_ = true;
+    }
+    return *this;
+  }
+  Dataset(Dataset&& other) noexcept
+      : featureCount_(other.featureCount_),
+        data_(std::move(other.data_)),
+        labels_(std::move(other.labels_)),
+        packedStorage_(std::move(other.packedStorage_)),
+        packedView_(std::move(other.packedView_)),
+        packedDirty_(other.packedDirty_) {
+    other.packedView_ = {};
+    other.packedDirty_ = true;
+  }
+  Dataset& operator=(Dataset&& other) noexcept {
+    if (this != &other) {
+      featureCount_ = other.featureCount_;
+      data_ = std::move(other.data_);
+      labels_ = std::move(other.labels_);
+      packedStorage_ = std::move(other.packedStorage_);
+      packedView_ = std::move(other.packedView_);
+      packedDirty_ = other.packedDirty_;
+      other.packedView_ = {};
+      other.packedDirty_ = true;
+    }
+    return *this;
+  }
+
   void addRow(std::span<const std::uint8_t> features, bool label) {
     if (features.size() != featureCount_) {
       throw std::invalid_argument("Dataset: row has wrong feature count");
     }
     data_.insert(data_.end(), features.begin(), features.end());
     labels_.push_back(label ? 1 : 0);
+    packedDirty_ = true;
   }
 
   [[nodiscard]] std::size_t rowCount() const noexcept {
@@ -47,6 +114,13 @@ class Dataset {
   /// Number of positive labels (convenience for imbalance checks).
   [[nodiscard]] std::size_t positiveCount() const noexcept;
 
+  /// The column-major packed view of the current rows. Built lazily on
+  /// first use and cached until the next addRow; the returned reference
+  /// (and the words it points into) stays valid until then. The first call
+  /// after a mutation is not safe to race — pack before sharing across
+  /// threads.
+  [[nodiscard]] const PackedView& packed() const;
+
   void reserve(std::size_t rows) {
     data_.reserve(rows * featureCount_);
     labels_.reserve(rows);
@@ -56,6 +130,10 @@ class Dataset {
   std::size_t featureCount_;
   std::vector<std::uint8_t> data_;
   std::vector<std::uint8_t> labels_;
+  // Lazily built packed mirror of data_/labels_ (see packed()).
+  mutable std::vector<std::uint64_t> packedStorage_;
+  mutable PackedView packedView_;
+  mutable bool packedDirty_ = true;
 };
 
 }  // namespace oisa::ml

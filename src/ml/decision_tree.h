@@ -4,6 +4,13 @@
 // "learns a set of decision rules based on the pattern of input and their
 // possible outcomes". Nodes are stored in a flat vector — no pointer
 // chasing, trivially serializable.
+//
+// Training runs on the packed column-major substrate: every candidate
+// split's counts come from popcount(featureWord & rowPlane) instead of
+// per-row byte loads, with bootstrap multiplicities carried as bit-planes.
+// The seed row-scan trainer is retained as fitReference() — the golden
+// reference the packed trainer must match *node for node* (the
+// wheel-vs-heap differential pattern applied to training).
 #pragma once
 
 #include <cstdint>
@@ -28,19 +35,55 @@ struct TreeParams {
 /// CART binary decision tree over binary features.
 class DecisionTree final : public BinaryClassifier {
  public:
-  /// Grows a tree on `rows` (indices into `data`); `rng` drives feature
-  /// subsampling when params.featuresPerSplit > 0.
-  void fit(const Dataset& data, std::span<const std::uint32_t> rows,
+  /// Grows a tree on `rows` (indices into `data`, duplicates allowed —
+  /// bootstrap samples carry multiplicity); `rng` drives feature
+  /// subsampling when params.featuresPerSplit > 0. This is the packed
+  /// popcount trainer; it produces node arrays identical to fitReference()
+  /// for the same inputs and rng state.
+  void fit(const PackedView& data, std::span<const std::uint32_t> rows,
            const TreeParams& params, std::mt19937_64& rng);
 
-  /// Grows on the whole dataset.
+  /// Grows on the whole packed dataset.
+  void fit(const PackedView& data, const TreeParams& params,
+           std::uint64_t seed = 1);
+
+  /// Dataset conveniences (delegate to the packed trainer via
+  /// Dataset::packed()).
+  void fit(const Dataset& data, std::span<const std::uint32_t> rows,
+           const TreeParams& params, std::mt19937_64& rng);
   void fit(const Dataset& data, const TreeParams& params,
            std::uint64_t seed = 1);
+
+  /// The seed per-row-scan trainer, retained as the differential-testing
+  /// reference for the packed fit() paths.
+  void fitReference(const Dataset& data, std::span<const std::uint32_t> rows,
+                    const TreeParams& params, std::mt19937_64& rng);
+  void fitReference(const Dataset& data, const TreeParams& params,
+                    std::uint64_t seed = 1);
 
   [[nodiscard]] bool predict(
       std::span<const std::uint8_t> features) const override;
   [[nodiscard]] double predictProbability(
       std::span<const std::uint8_t> features) const override;
+
+  /// predictProbability without the trained() validation, for hot loops
+  /// that validated once at entry. Precondition: trained().
+  [[nodiscard]] double probabilityUnchecked(
+      std::span<const std::uint8_t> features) const noexcept;
+
+  /// Batched inference: featureWords[f] carries feature f of lane L in bit
+  /// L (the packed column layout). Writes each lane's leaf probability and
+  /// returns the mask of lanes predicted positive — lane for lane equal to
+  /// the scalar predict()/predictProbability().
+  [[nodiscard]] std::uint64_t predictBatch(
+      std::span<const std::uint64_t> featureWords,
+      std::span<double> probabilities) const override;
+
+  /// Batched building block for forests: adds each lane's leaf probability
+  /// into sums[0..63] (one addition per lane, so callers control the
+  /// accumulation order). Precondition: trained().
+  void accumulateBatch(std::span<const std::uint64_t> featureWords,
+                       double* sums) const noexcept;
 
   [[nodiscard]] std::size_t nodeCount() const noexcept {
     return nodes_.size();
@@ -61,9 +104,17 @@ class DecisionTree final : public BinaryClassifier {
   void setNodes(std::vector<Node> nodes) { nodes_ = std::move(nodes); }
 
  private:
+  struct PackedGrowContext;
+  struct PackedRows;
+
   std::uint32_t grow(const Dataset& data, std::vector<std::uint32_t>& rows,
                      int depth, const TreeParams& params,
                      std::mt19937_64& rng);
+  std::uint32_t growPacked(PackedGrowContext& ctx, PackedRows& rows,
+                           int depth);
+  void accumulateLanes(std::span<const std::uint64_t> featureWords,
+                       std::uint32_t idx, std::uint64_t mask,
+                       double* sums) const noexcept;
 
   std::vector<Node> nodes_;
 };

@@ -6,9 +6,18 @@
 
 namespace oisa::ml {
 
-void RandomForest::fit(const Dataset& data, const ForestParams& params,
-                       std::uint64_t seed) {
-  if (data.rowCount() == 0) {
+namespace {
+
+/// The forest pipeline, shared by the packed and reference paths so both
+/// draw identical bootstrap samples from the same rng stream. `fitTree`
+/// grows one tree on a row multiset; `fitLeaf` grows the single-leaf tree
+/// of the constant-label short-cut.
+template <typename FitTree, typename FitLeaf>
+void growForest(std::vector<DecisionTree>& trees, std::size_t rowCount,
+                std::size_t positiveCount, std::size_t featureCount,
+                const ForestParams& params, std::uint64_t seed,
+                FitTree&& fitTree, FitLeaf&& fitLeaf) {
+  if (rowCount == 0) {
     throw std::invalid_argument("RandomForest::fit: empty dataset");
   }
   if (params.treeCount == 0) {
@@ -17,35 +26,69 @@ void RandomForest::fit(const Dataset& data, const ForestParams& params,
   TreeParams treeParams = params.tree;
   if (treeParams.featuresPerSplit == 0) {
     treeParams.featuresPerSplit = static_cast<std::size_t>(
-        std::lround(std::sqrt(static_cast<double>(data.featureCount()))));
+        std::lround(std::sqrt(static_cast<double>(featureCount))));
   }
-  trees_.clear();
+  trees.clear();
 
   // Degenerate case short-cut: constant labels need a single leaf (frequent
   // for timing bits that never fail at a mild overclock).
-  const std::size_t pos = data.positiveCount();
-  if (pos == 0 || pos == data.rowCount()) {
+  if (positiveCount == 0 || positiveCount == rowCount) {
     DecisionTree leaf;
-    leaf.fit(data, TreeParams{0, 2, 1, 0}, seed);
-    trees_.push_back(std::move(leaf));
+    fitLeaf(leaf);
+    trees.push_back(std::move(leaf));
     return;
   }
 
   std::mt19937_64 rng(seed);
-  const std::size_t n = data.rowCount();
-  std::vector<std::uint32_t> rows(n);
+  std::vector<std::uint32_t> rows(rowCount);
   for (std::size_t t = 0; t < params.treeCount; ++t) {
     if (params.bootstrap) {
       std::uniform_int_distribution<std::uint32_t> pick(
-          0, static_cast<std::uint32_t>(n - 1));
-      for (std::size_t i = 0; i < n; ++i) rows[i] = pick(rng);
+          0, static_cast<std::uint32_t>(rowCount - 1));
+      for (std::size_t i = 0; i < rowCount; ++i) rows[i] = pick(rng);
     } else {
       std::iota(rows.begin(), rows.end(), 0u);
     }
     DecisionTree tree;
-    tree.fit(data, rows, treeParams, rng);
-    trees_.push_back(std::move(tree));
+    fitTree(tree, rows, treeParams, rng);
+    trees.push_back(std::move(tree));
   }
+}
+
+}  // namespace
+
+void RandomForest::fit(const Dataset& data, const ForestParams& params,
+                       std::uint64_t seed) {
+  fit(data.packed(), params, seed);
+}
+
+void RandomForest::fit(const PackedView& data, const ForestParams& params,
+                       std::uint64_t seed) {
+  growForest(
+      trees_, data.rowCount, data.positiveCount(), data.featureCount(),
+      params, seed,
+      [&](DecisionTree& tree, std::span<const std::uint32_t> rows,
+          const TreeParams& treeParams, std::mt19937_64& rng) {
+        tree.fit(data, rows, treeParams, rng);
+      },
+      [&](DecisionTree& leaf) {
+        leaf.fit(data, TreeParams{0, 2, 1, 0}, seed);
+      });
+}
+
+void RandomForest::fitReference(const Dataset& data,
+                                const ForestParams& params,
+                                std::uint64_t seed) {
+  growForest(
+      trees_, data.rowCount(), data.positiveCount(), data.featureCount(),
+      params, seed,
+      [&](DecisionTree& tree, std::span<const std::uint32_t> rows,
+          const TreeParams& treeParams, std::mt19937_64& rng) {
+        tree.fitReference(data, rows, treeParams, rng);
+      },
+      [&](DecisionTree& leaf) {
+        leaf.fitReference(data, TreeParams{0, 2, 1, 0}, seed);
+      });
 }
 
 bool RandomForest::predict(std::span<const std::uint8_t> features) const {
@@ -57,11 +100,42 @@ double RandomForest::predictProbability(
   if (trees_.empty()) {
     throw std::logic_error("RandomForest: predict before fit");
   }
+  return probabilityUnchecked(features);
+}
+
+double RandomForest::probabilityUnchecked(
+    std::span<const std::uint8_t> features) const noexcept {
   double sum = 0.0;
   for (const DecisionTree& tree : trees_) {
-    sum += tree.predictProbability(features);
+    sum += tree.probabilityUnchecked(features);
   }
   return sum / static_cast<double>(trees_.size());
+}
+
+std::uint64_t RandomForest::predictBatch(
+    std::span<const std::uint64_t> featureWords,
+    std::span<double> probabilities) const {
+  if (trees_.empty()) {
+    throw std::logic_error("RandomForest: predict before fit");
+  }
+  if (probabilities.size() < 64) {
+    throw std::invalid_argument(
+        "RandomForest::predictBatch: need 64 probability slots");
+  }
+  std::fill_n(probabilities.data(), 64, 0.0);
+  // One leaf-probability addition per lane per tree, tree by tree — the
+  // same per-lane summation order as the scalar path, so results match bit
+  // for bit.
+  for (const DecisionTree& tree : trees_) {
+    tree.accumulateBatch(featureWords, probabilities.data());
+  }
+  const auto count = static_cast<double>(trees_.size());
+  std::uint64_t predictions = 0;
+  for (std::size_t lane = 0; lane < 64; ++lane) {
+    probabilities[lane] = probabilities[lane] / count;
+    if (probabilities[lane] >= 0.5) predictions |= std::uint64_t{1} << lane;
+  }
+  return predictions;
 }
 
 void MajorityClassifier::fit(const Dataset& data) {
@@ -70,6 +144,15 @@ void MajorityClassifier::fit(const Dataset& data) {
   }
   probability_ = static_cast<double>(data.positiveCount()) /
                  static_cast<double>(data.rowCount());
+  majority_ = probability_ >= 0.5;
+}
+
+void MajorityClassifier::fit(const PackedView& data) {
+  if (data.rowCount == 0) {
+    throw std::invalid_argument("MajorityClassifier::fit: empty dataset");
+  }
+  probability_ = static_cast<double>(data.positiveCount()) /
+                 static_cast<double>(data.rowCount);
   majority_ = probability_ >= 0.5;
 }
 

@@ -24,6 +24,11 @@ DecisionTree loadTree(std::istream& is) {
   if (!(is >> tag >> count) || tag != "tree") {
     throw std::runtime_error("loadTree: bad header");
   }
+  // A trained tree always has a root; the fast inference paths rely on
+  // loaded trees being non-empty, so reject it here at the trust boundary.
+  if (count == 0) {
+    throw std::runtime_error("loadTree: empty node list");
+  }
   std::vector<DecisionTree::Node> nodes(count);
   for (DecisionTree::Node& n : nodes) {
     if (!(is >> n.feature >> n.left >> n.right >> n.probability)) {
@@ -51,6 +56,9 @@ RandomForest loadForest(std::istream& is) {
   std::size_t count = 0;
   if (!(is >> tag >> count) || tag != "forest") {
     throw std::runtime_error("loadForest: bad header");
+  }
+  if (count == 0) {
+    throw std::runtime_error("loadForest: empty forest");
   }
   std::vector<DecisionTree> trees;
   trees.reserve(count);

@@ -1,6 +1,8 @@
 #include "predict/bit_predictor.h"
 
-#include <cmath>
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -24,33 +26,30 @@ void BitLevelPredictor::fit(const Trace& trainTrace) {
   treesOnly_.clear();
   majorities_.clear();
 
-  std::vector<std::uint8_t> row(extractor_.featureCount());
+  // One packed pass over the trace; the per-bit datasets are views sharing
+  // the operand/transition columns (only the two yRTL_n columns and the
+  // labels differ per bit).
+  const PackedTraceFeatures packed = extractor_.packTrace(trainTrace);
   for (int bit = 0; bit < bits; ++bit) {
-    ml::Dataset data(extractor_.featureCount());
-    data.reserve(trainTrace.size() - 1);
-    for (std::size_t t = 1; t < trainTrace.size(); ++t) {
-      extractor_.extract(trainTrace[t - 1], trainTrace[t], bit, row);
-      data.addRow(row, FeatureExtractor::timingErroneous(
-                           trainTrace[t], bit, extractor_.width()));
-    }
+    const ml::PackedView view = extractor_.bitView(packed, bit);
     const std::uint64_t seed =
         params_.seed + 0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(bit + 1);
     switch (params_.model) {
       case ModelKind::RandomForest: {
         ml::RandomForest forest;
-        forest.fit(data, params_.forest, seed);
+        forest.fit(view, params_.forest, seed);
         forests_.push_back(std::move(forest));
         break;
       }
       case ModelKind::DecisionTree: {
         ml::DecisionTree tree;
-        tree.fit(data, params_.tree, seed);
+        tree.fit(view, params_.tree, seed);
         treesOnly_.push_back(std::move(tree));
         break;
       }
       case ModelKind::Majority: {
         ml::MajorityClassifier majority;
-        majority.fit(data);
+        majority.fit(view);
         majorities_.push_back(std::move(majority));
         break;
       }
@@ -60,14 +59,31 @@ void BitLevelPredictor::fit(const Trace& trainTrace) {
 }
 
 bool BitLevelPredictor::predictBit(std::span<const std::uint8_t> features,
-                                   int bit) const {
+                                   int bit) const noexcept {
   const auto idx = static_cast<std::size_t>(bit);
   switch (params_.model) {
-    case ModelKind::RandomForest: return forests_[idx].predict(features);
-    case ModelKind::DecisionTree: return treesOnly_[idx].predict(features);
+    case ModelKind::RandomForest:
+      return forests_[idx].probabilityUnchecked(features) >= 0.5;
+    case ModelKind::DecisionTree:
+      return treesOnly_[idx].probabilityUnchecked(features) >= 0.5;
     case ModelKind::Majority: return majorities_[idx].predict(features);
   }
   return false;
+}
+
+std::uint64_t BitLevelPredictor::predictBitWord(
+    std::span<const std::uint64_t> featureWords, int bit,
+    std::span<double> probabilities) const {
+  const auto idx = static_cast<std::size_t>(bit);
+  switch (params_.model) {
+    case ModelKind::RandomForest:
+      return forests_[idx].predictBatch(featureWords, probabilities);
+    case ModelKind::DecisionTree:
+      return treesOnly_[idx].predictBatch(featureWords, probabilities);
+    case ModelKind::Majority:
+      return majorities_[idx].predictBatch(featureWords, probabilities);
+  }
+  return 0;
 }
 
 std::vector<double> BitLevelPredictor::featureImportance() const {
@@ -135,10 +151,15 @@ PredictedFlips BitLevelPredictor::predictFlips(
     throw std::logic_error("BitLevelPredictor: predict before fit");
   }
   PredictedFlips flips;
-  std::vector<std::uint8_t> row(extractor_.featureCount());
+  // Stack row buffer (width <= 63 caps featureCount); the shared operand
+  // block is extracted once, only the two yRTL_n bytes change per bit.
+  std::array<std::uint8_t, FeatureExtractor::kMaxFeatureCount> buffer;
+  const std::span<std::uint8_t> row{buffer.data(),
+                                    extractor_.featureCount()};
+  extractor_.extractShared(previous, current, row);
   const int width = extractor_.width();
   for (int bit = 0; bit <= width; ++bit) {
-    extractor_.extract(previous, current, bit, row);
+    extractor_.patchBitFeatures(previous, current, bit, row);
     if (!predictBit(row, bit)) continue;
     if (bit == width) {
       flips.coutFlip = true;
@@ -162,34 +183,70 @@ PredictorEvaluation BitLevelPredictor::evaluate(const Trace& testTrace) const {
   PredictorEvaluation eval;
   std::vector<std::uint64_t> wrong(static_cast<std::size_t>(bits), 0);
 
+  // Pack the test trace once, then sweep it 64 cycles at a time: per block
+  // each bit's classifier walks its forest under lane masks, the
+  // mispredictions are popcounts of prediction-vs-label words, and only
+  // the value-level (AVPE) arithmetic touches individual cycles.
+  const PackedTraceFeatures packed = extractor_.packTrace(testTrace);
+  const std::size_t words = packed.wordCount;
+  const std::size_t rows = packed.rowCount;
+  const std::size_t shared = packed.sharedCount;
+  std::vector<std::uint64_t> featureWords(extractor_.featureCount());
+  std::vector<std::uint64_t> predWords(static_cast<std::size_t>(bits));
+  std::array<double, 64> probabilities;
+
   double avpeSum = 0.0;
-  for (std::size_t t = 1; t < testTrace.size(); ++t) {
-    const TraceRecord& prev = testTrace[t - 1];
-    const TraceRecord& cur = testTrace[t];
-    const PredictedFlips flips = predictFlips(prev, cur);
-    // Bit-level accuracy (ABPER numerator).
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t lanes = std::min<std::size_t>(64, rows - w * 64);
+    const std::uint64_t active =
+        lanes == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << lanes) - 1;
+    for (std::size_t f = 0; f < shared; ++f) {
+      featureWords[f] = packed.shared[f * words + w];
+    }
     for (int bit = 0; bit < bits; ++bit) {
-      const bool predicted =
-          bit == width ? flips.coutFlip
-                       : ((flips.sumFlips >> bit) & 1u) != 0;
-      const bool real = FeatureExtractor::timingErroneous(cur, bit, width);
-      if (predicted != real) ++wrong[static_cast<std::size_t>(bit)];
+      const auto b = static_cast<std::size_t>(bit);
+      if (params_.includeOutputBits) {
+        featureWords[shared] = packed.goldPrev[b * words + w];
+        featureWords[shared + 1] = packed.goldCur[b * words + w];
+      }
+      const std::uint64_t pred =
+          predictBitWord(featureWords, bit, probabilities);
+      predWords[b] = pred;
+      // Bit-level accuracy (ABPER numerator): one popcount per 64 cycles.
+      wrong[b] += static_cast<std::uint64_t>(
+          std::popcount((pred ^ packed.labels[b * words + w]) & active));
     }
     // Value-level accuracy (AVPE): deduce predicted y_silver from y_gold,
-    // over full composed output values (sum plus carry-out).
-    const bool predictedCout = cur.goldCout != flips.coutFlip;
-    const std::uint64_t predictedSilver =
-        flips.predictedSilver(cur.gold) |
-        (static_cast<std::uint64_t>(predictedCout ? 1 : 0) << width);
-    const std::uint64_t realSilver = cur.silverValue(width);
-    if (realSilver == 0) {
-      ++eval.avpeSkipped;
-    } else {
-      const double diff = std::abs(static_cast<double>(predictedSilver) -
-                                   static_cast<double>(realSilver));
-      avpeSum += diff / static_cast<double>(realSilver);
+    // over full composed output values (sum plus carry-out), in cycle
+    // order.
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const TraceRecord& cur = testTrace[w * 64 + lane + 1];
+      std::uint64_t sumFlips = 0;
+      for (int bit = 0; bit < width; ++bit) {
+        const std::uint64_t flip =
+            (predWords[static_cast<std::size_t>(bit)] >> lane) & 1u;
+        sumFlips |= flip << bit;
+      }
+      const bool coutFlip =
+          ((predWords[static_cast<std::size_t>(width)] >> lane) & 1u) != 0;
+      const bool predictedCout = cur.goldCout != coutFlip;
+      const std::uint64_t predictedSilver =
+          (cur.gold ^ sumFlips) |
+          (static_cast<std::uint64_t>(predictedCout ? 1 : 0) << width);
+      const std::uint64_t realSilver = cur.silverValue(width);
+      if (realSilver == 0) {
+        ++eval.avpeSkipped;
+      } else {
+        // Magnitude in integer arithmetic: |a - b| on 64-bit values loses
+        // precision past 2^53 when computed on doubles.
+        const std::uint64_t diff = predictedSilver >= realSilver
+                                       ? predictedSilver - realSilver
+                                       : realSilver - predictedSilver;
+        avpeSum +=
+            static_cast<double>(diff) / static_cast<double>(realSilver);
+      }
+      ++eval.cycles;
     }
-    ++eval.cycles;
   }
 
   eval.perBitErrorRate.resize(static_cast<std::size_t>(bits));

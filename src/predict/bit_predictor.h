@@ -6,6 +6,13 @@
 // model never emits arithmetic values directly: it predicts a timing-class
 // vector (bit-flip positions) and deduces the predicted y_silver from
 // y_gold (Sec. IV-B).
+//
+// The bank runs on the packed column-major substrate end to end: fit()
+// extracts the shared operand/transition columns once per trace (only the
+// two yRTL_n columns differ per bit) and trains every forest with the
+// popcount CART trainer; evaluate() sweeps the test trace 64 cycles at a
+// time through the lane-masked batched forest walk, so ABPER reduces to
+// popcounts of prediction-vs-label words.
 #pragma once
 
 #include <cstdint>
@@ -65,14 +72,18 @@ class BitLevelPredictor {
 
   /// Trains every per-bit classifier on consecutive record pairs of the
   /// training trace (records 1..n-1 each paired with their predecessor).
+  /// The trace is packed once; all width+1 per-bit datasets are views over
+  /// the shared matrix.
   void fit(const Trace& trainTrace);
 
   /// Predicts the timing-class vector for the cycle `current` given the
-  /// preceding record.
+  /// preceding record. Allocation-free: one shared feature extraction per
+  /// call, two patched bytes per bit.
   [[nodiscard]] PredictedFlips predictFlips(const TraceRecord& previous,
                                             const TraceRecord& current) const;
 
-  /// Runs the model over a test trace and computes ABPER / AVPE.
+  /// Runs the model over a test trace and computes ABPER / AVPE via the
+  /// 64-lane batched sweep (bit-identical to the per-cycle scalar path).
   [[nodiscard]] PredictorEvaluation evaluate(const Trace& testTrace) const;
 
   [[nodiscard]] int width() const noexcept { return extractor_.width(); }
@@ -93,8 +104,14 @@ class BitLevelPredictor {
   [[nodiscard]] static BitLevelPredictor load(std::istream& is);
 
  private:
+  /// Scalar per-bit prediction; precondition: trained() (validated once at
+  /// the public entry points, not per bit).
   [[nodiscard]] bool predictBit(std::span<const std::uint8_t> features,
-                                int bit) const;
+                                int bit) const noexcept;
+  /// Batched per-bit prediction over one 64-cycle lane word.
+  [[nodiscard]] std::uint64_t predictBitWord(
+      std::span<const std::uint64_t> featureWords, int bit,
+      std::span<double> probabilities) const;
 
   PredictorParams params_;
   FeatureExtractor extractor_;

@@ -1,6 +1,10 @@
 #include "predict/features.h"
 
+#include <algorithm>
+#include <array>
 #include <stdexcept>
+
+#include "netlist/batch_evaluator.h"
 
 namespace oisa::predict {
 
@@ -16,6 +20,13 @@ FeatureExtractor::FeatureExtractor(int width, bool includeOutputBits)
 void FeatureExtractor::extract(const TraceRecord& previous,
                                const TraceRecord& current, int bit,
                                std::span<std::uint8_t> out) const {
+  extractShared(previous, current, out);
+  patchBitFeatures(previous, current, bit, out);
+}
+
+void FeatureExtractor::extractShared(const TraceRecord& previous,
+                                     const TraceRecord& current,
+                                     std::span<std::uint8_t> out) const {
   if (out.size() != featureCount_) {
     throw std::invalid_argument("FeatureExtractor: bad output span size");
   }
@@ -32,10 +43,18 @@ void FeatureExtractor::extract(const TraceRecord& previous,
   };
   emitCycle(current);
   emitCycle(previous);
-  if (includeOutputBits_) {
-    out[k++] = goldBit(previous, bit, width_) ? 1 : 0;
-    out[k++] = goldBit(current, bit, width_) ? 1 : 0;
+}
+
+void FeatureExtractor::patchBitFeatures(const TraceRecord& previous,
+                                        const TraceRecord& current, int bit,
+                                        std::span<std::uint8_t> out) const {
+  if (!includeOutputBits_) return;
+  if (out.size() != featureCount_) {
+    throw std::invalid_argument("FeatureExtractor: bad output span size");
   }
+  const std::size_t k = sharedFeatureCount();
+  out[k] = goldBit(previous, bit, width_) ? 1 : 0;
+  out[k + 1] = goldBit(current, bit, width_) ? 1 : 0;
 }
 
 std::vector<std::uint8_t> FeatureExtractor::extract(
@@ -43,6 +62,114 @@ std::vector<std::uint8_t> FeatureExtractor::extract(
   std::vector<std::uint8_t> out(featureCount_);
   extract(previous, current, bit, out);
   return out;
+}
+
+PackedTraceFeatures FeatureExtractor::packTrace(const Trace& trace) const {
+  PackedTraceFeatures out;
+  out.rowCount = trace.size() < 2 ? 0 : trace.size() - 1;
+  out.wordCount = (out.rowCount + 63) / 64;
+  out.sharedCount = sharedFeatureCount();
+  const std::size_t words = out.wordCount;
+  const auto w = static_cast<std::size_t>(width_);
+  const auto bits = static_cast<std::size_t>(outputBitCount());
+  out.shared.assign(out.sharedCount * words, 0);
+  if (includeOutputBits_) {
+    out.goldPrev.assign(bits * words, 0);
+    out.goldCur.assign(bits * words, 0);
+  }
+  out.labels.assign(bits * words, 0);
+
+  // A row's shared feature vector is just the concatenated operand words
+  // {cur.a, cur.b, cur.cin, prev.a, prev.b, prev.cin} read as a (4W+2)-bit
+  // little-endian integer, and its gold/label vectors are (width+1)-bit
+  // words — so packing a 64-row block is a handful of shifts per row plus
+  // one 64x64 bit transpose per 64 columns (the BatchEvaluator lane
+  // idiom), not a per-(row, column) scatter. Sum bits are masked to the
+  // width so the composed words match goldBit()/timingErroneous() exactly
+  // even on records carrying stray high bits.
+  const std::uint64_t coutBit = std::uint64_t{1} << width_;
+  const std::uint64_t sumMask = coutBit - 1;
+  const std::size_t chunks = (out.sharedCount + 63) / 64;
+  std::vector<std::array<std::uint64_t, 64>> rowChunks(chunks);
+  std::array<std::uint64_t, 64> goldPrevRows{};
+  std::array<std::uint64_t, 64> goldCurRows{};
+  std::array<std::uint64_t, 64> labelRows{};
+
+  for (std::size_t block = 0; block < words; ++block) {
+    const std::size_t base = block * 64;
+    const std::size_t lanes = std::min<std::size_t>(64, out.rowCount - base);
+    for (auto& chunk : rowChunks) chunk.fill(0);
+    goldPrevRows.fill(0);
+    goldCurRows.fill(0);
+    labelRows.fill(0);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const TraceRecord& prev = trace[base + lane];
+      const TraceRecord& cur = trace[base + lane + 1];
+      std::size_t p = 0;
+      auto append = [&](std::uint64_t value, std::size_t nbits) {
+        const std::size_t chunk = p / 64;
+        const std::size_t off = p % 64;
+        rowChunks[chunk][lane] |= value << off;
+        if (off != 0 && off + nbits > 64) {
+          rowChunks[chunk + 1][lane] |= value >> (64 - off);
+        }
+        p += nbits;
+      };
+      append(cur.a & sumMask, w);
+      append(cur.b & sumMask, w);
+      append(cur.carryIn ? 1 : 0, 1);
+      append(prev.a & sumMask, w);
+      append(prev.b & sumMask, w);
+      append(prev.carryIn ? 1 : 0, 1);
+      goldPrevRows[lane] =
+          (prev.gold & sumMask) | (prev.goldCout ? coutBit : 0);
+      goldCurRows[lane] = (cur.gold & sumMask) | (cur.goldCout ? coutBit : 0);
+      labelRows[lane] = ((cur.gold ^ cur.silver) & sumMask) |
+                        (cur.goldCout != cur.silverCout ? coutBit : 0);
+    }
+    for (std::size_t c = 0; c < chunks; ++c) {
+      netlist::transpose64(rowChunks[c]);
+      const std::size_t columns =
+          std::min<std::size_t>(64, out.sharedCount - c * 64);
+      for (std::size_t j = 0; j < columns; ++j) {
+        out.shared[(c * 64 + j) * words + block] = rowChunks[c][j];
+      }
+    }
+    if (includeOutputBits_) {
+      netlist::transpose64(goldPrevRows);
+      netlist::transpose64(goldCurRows);
+      for (std::size_t b = 0; b < bits; ++b) {
+        out.goldPrev[b * words + block] = goldPrevRows[b];
+        out.goldCur[b * words + block] = goldCurRows[b];
+      }
+    }
+    netlist::transpose64(labelRows);
+    for (std::size_t b = 0; b < bits; ++b) {
+      out.labels[b * words + block] = labelRows[b];
+    }
+  }
+  return out;
+}
+
+ml::PackedView FeatureExtractor::bitView(const PackedTraceFeatures& packed,
+                                         int bit) const {
+  if (bit < 0 || bit > width_) {
+    throw std::invalid_argument("FeatureExtractor::bitView: bad bit");
+  }
+  ml::PackedView view;
+  view.rowCount = packed.rowCount;
+  view.wordCount = packed.wordCount;
+  view.columns.reserve(featureCount_);
+  for (std::size_t f = 0; f < packed.sharedCount; ++f) {
+    view.columns.push_back(packed.sharedColumn(f));
+  }
+  if (includeOutputBits_) {
+    const auto b = static_cast<std::size_t>(bit);
+    view.columns.push_back(packed.goldPrev.data() + b * packed.wordCount);
+    view.columns.push_back(packed.goldCur.data() + b * packed.wordCount);
+  }
+  view.labels = packed.labelColumn(bit);
+  return view;
 }
 
 std::string FeatureExtractor::featureName(std::size_t index) const {
