@@ -9,6 +9,7 @@
 #include "experiments/grid_scheduler.h"
 #include "experiments/trace_collector.h"
 #include "netlist/batch_evaluator.h"
+#include "netlist/bitops.h"
 
 namespace oisa::experiments {
 
@@ -47,10 +48,12 @@ std::vector<CombinationRow> runErrorCombination(
     const double cpr = cprPercents[point % cprPercents.size()];
     const double period = overclockedPeriodNs(options.signOffPeriodNs, cpr);
     // Same workload seed across designs and CPRs so every design sees the
-    // same stimulus, as in the paper's common random sample.
+    // same stimulus, as in the paper's common random sample. The lane
+    // collector replays 64 chunks of that stream per wheel sweep;
+    // records are bit-identical to the sequential path.
     auto workload = workloadFor(options, design.config.width, 0);
-    const predict::Trace trace =
-        collectTrace(design, period, *workload, options.cycles);
+    TraceCollector collector(design, period);
+    const predict::Trace trace = collector.collect(*workload, options.cycles);
 
     const int width = design.config.width;
     core::ErrorCombination combo;
@@ -86,22 +89,28 @@ std::vector<PredictionRow> runPredictionEvaluation(
     const double cpr = cprPercents[point % cprPercents.size()];
     const double period =
         overclockedPeriodNs(options.run.signOffPeriodNs, cpr);
-    // Train and test stimuli come from differently-seeded streams. The
-    // predictor's fit/evaluate below run on the packed ML substrate (one
-    // shared column matrix per trace, popcount training, 64-lane batched
-    // evaluation); results are bit-identical to the per-row pipeline it
-    // replaced — see bench/micro_forest.cpp for the differential gate.
-    auto trainWorkload = workloadFor(options.run, design.config.width, 1);
-    auto testWorkload = workloadFor(options.run, design.config.width, 2);
-    const predict::Trace trainTrace =
-        collectTrace(design, period, *trainWorkload, options.trainCycles);
-    const predict::Trace testTrace =
-        collectTrace(design, period, *testWorkload, options.testCycles);
-
+    // Train and test stimuli come from differently-seeded streams. One
+    // TraceCollector per point shares its compiled netlist and lane
+    // simulator across both collections and owns each trace's single
+    // packing pass (the block shift-and-transpose of packTrace), so the
+    // predictor consumes packed feature/label words directly — popcount
+    // training and 64-lane batched evaluation with no per-record
+    // re-extraction here. Results are bit-identical to the sequential
+    // per-trace pipeline (differential gates: bench/micro_lane_sim.cpp,
+    // bench/micro_forest.cpp).
     predict::BitLevelPredictor predictor(design.config.width,
                                          options.predictor);
-    predictor.fit(trainTrace);
-    const predict::PredictorEvaluation eval = predictor.evaluate(testTrace);
+    TraceCollector collector(design, period);
+    auto trainWorkload = workloadFor(options.run, design.config.width, 1);
+    auto testWorkload = workloadFor(options.run, design.config.width, 2);
+    const CollectedTrace train = collector.collectPacked(
+        *trainWorkload, options.trainCycles, predictor.extractor());
+    const CollectedTrace test = collector.collectPacked(
+        *testWorkload, options.testCycles, predictor.extractor());
+
+    predictor.fit(train.packed);
+    const predict::PredictorEvaluation eval =
+        predictor.evaluate(test.trace, test.packed);
 
     PredictionRow row;
     row.design = design.config.name();
@@ -122,8 +131,8 @@ BitDistributionResult runBitDistribution(
   const double period =
       overclockedPeriodNs(options.signOffPeriodNs, cprPercent);
   auto workload = workloadFor(options, design.config.width, 0);
-  const predict::Trace trace =
-      collectTrace(design, period, *workload, options.cycles);
+  TraceCollector collector(design, period);
+  const predict::Trace trace = collector.collect(*workload, options.cycles);
 
   const int width = design.config.width;
   // Positions 0..width-1 are sum bits; position `width` is the carry-out

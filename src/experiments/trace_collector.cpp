@@ -1,13 +1,230 @@
 #include "experiments/trace_collector.h"
 
-#include "core/isa_adder.h"
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "circuits/isa_netlist.h"
+#include "netlist/bitops.h"
 #include "timing/event_sim.h"
+#include "timing/sta.h"
 
 namespace oisa::experiments {
+
+TraceCollector::TraceCollector(const circuits::SynthesizedDesign& design,
+                               double periodNs, std::size_t maxLanes)
+    : design_(design),
+      behavioral_(design.config),
+      compiled_(netlist::CompiledNetlist::compile(design.netlist)),
+      sampler_(compiled_, design.delays, periodNs),
+      periodNs_(periodNs),
+      periodPs_(sampler_.periodPs()),
+      maxLanes_(std::min<std::size_t>(
+          std::max<std::size_t>(maxLanes, 1),
+          timing::LaneTimedSimulator::kLanes)) {
+  // Warm-up bound: a latched output depends on primary-input values within
+  // one maximum output path delay D before its edge. With settle + W
+  // replayed cycles ahead of a chunk, all input samples a recorded cycle
+  // can reach are reproduced exactly iff (W + 2) * period > D. The STA
+  // critical delay bounds D (per-gate quantization floors); +1 ps absorbs
+  // double-summation noise in the ns-domain STA.
+  const timing::TimePs d =
+      timing::quantizeSpanPs(
+          timing::criticalDelayNs(design.netlist, design.delays)) +
+      1;
+  while ((static_cast<timing::TimePs>(warmUp_) + 2) * periodPs_ <= d) {
+    ++warmUp_;
+  }
+}
+
+std::size_t TraceCollector::lanesFor(std::uint64_t cycles) const noexcept {
+  // Every chunk must hold at least warm-up + 1 cycles so its settle vector
+  // exists inside the stream; degenerate runs collapse to fewer lanes.
+  const auto perLane = static_cast<std::uint64_t>(warmUp_) + 1;
+  const std::uint64_t lanes = cycles / perLane;
+  return static_cast<std::size_t>(
+      std::clamp<std::uint64_t>(lanes, 1, maxLanes_));
+}
+
+predict::Trace TraceCollector::collect(Workload& workload,
+                                       std::uint64_t cycles) {
+  // Materialize the stream once: stimuli[0] is the settled reset vector,
+  // stimuli[t + 1] drives recorded cycle t — the exact draw sequence of
+  // the sequential collector, so workload state evolves identically.
+  std::vector<Stimulus> stimuli(cycles + 1);
+  for (auto& s : stimuli) s = workload.next();
+
+  const int width = design_.config.width;
+  predict::Trace trace(cycles);
+  for (std::uint64_t t = 0; t < cycles; ++t) {
+    const Stimulus& stim = stimuli[t + 1];
+    predict::TraceRecord& rec = trace[t];
+    rec.a = stim.a;
+    rec.b = stim.b;
+    rec.carryIn = stim.carryIn;
+    const core::IsaSum diamond =
+        behavioral_.exactAdd(stim.a, stim.b, stim.carryIn);
+    rec.diamond = diamond.sum;
+    rec.diamondCout = diamond.carryOut;
+    const core::IsaSum gold = behavioral_.add(stim.a, stim.b, stim.carryIn);
+    rec.gold = gold.sum;
+    rec.goldCout = gold.carryOut;
+  }
+  if (cycles == 0) return trace;
+
+  // The lane path needs the adder port convention (2W+1 inputs, W+1
+  // outputs) to fit one 64x64 output transpose per sweep; anything else —
+  // and explicit --lanes=1 style requests — takes the scalar loop.
+  const std::size_t lanes = lanesFor(cycles);
+  const bool adderPorts =
+      width <= 63 &&
+      compiled_->inputNets().size() ==
+          static_cast<std::size_t>(2 * width + 1) &&
+      compiled_->outputNets().size() == static_cast<std::size_t>(width + 1);
+  if (lanes <= 1 || !adderPorts) {
+    fillSilverScalar(stimuli, trace);
+  } else {
+    fillSilverLane(stimuli, trace, lanes);
+  }
+  return trace;
+}
+
+void TraceCollector::fillSilverScalar(std::span<const Stimulus> stimuli,
+                                      predict::Trace& trace) {
+  const int width = design_.config.width;
+  timing::TimedSimulator sim(compiled_, design_.delays);
+  std::vector<std::uint8_t> inputs;
+  std::vector<std::uint8_t> outputs;
+  circuits::packOperandsInto(stimuli[0].a, stimuli[0].b, stimuli[0].carryIn,
+                             width, inputs);
+  sim.applyInputs(inputs);
+  (void)sim.settlePs();
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const Stimulus& stim = stimuli[t + 1];
+    circuits::packOperandsInto(stim.a, stim.b, stim.carryIn, width, inputs);
+    sim.applyInputs(inputs);
+    sim.advancePs(periodPs_);
+    sim.sampleOutputsInto(outputs);
+    trace[t].silver = circuits::unpackSum(outputs, width);
+    trace[t].silverCout = circuits::unpackCarryOut(outputs, width);
+  }
+}
+
+void TraceCollector::fillSilverLane(std::span<const Stimulus> stimuli,
+                                    predict::Trace& trace,
+                                    std::size_t lanes) {
+  constexpr std::size_t kLanes = timing::LaneTimedSimulator::kLanes;
+  const auto width = static_cast<std::size_t>(design_.config.width);
+  const std::size_t n = trace.size();
+  const auto wu = static_cast<std::size_t>(warmUp_);
+  const std::uint64_t sumMask = (std::uint64_t{1} << width) - 1;
+
+  // Contiguous chunks, sizes differing by at most one. Lane L replays
+  // stimulus indices settle(L) .. start(L) + len(L): a settle on the
+  // vector ahead of its warm-up window, wu discarded cycles, then its
+  // recorded range. Lanes with shorter schedules idle (inputs frozen,
+  // settled, zero events) at the *start*, so every lane finishes on the
+  // final sweep and the per-sweep bookkeeping stays uniform.
+  const std::size_t base = n / lanes;
+  const std::size_t rem = n % lanes;
+  std::array<std::size_t, kLanes> start{};  // first recorded cycle index
+  std::array<std::size_t, kLanes> len{};
+  std::array<std::size_t, kLanes> warm{};   // per-lane warm-up (clamped)
+  std::size_t steps = 0;                    // sweeps needed (max over lanes)
+  for (std::size_t L = 0, c = 0; L < lanes; ++L) {
+    start[L] = c;
+    len[L] = base + (L < rem ? 1 : 0);
+    c += len[L];
+    warm[L] = std::min(wu, start[L]);
+    steps = std::max(steps, warm[L] + len[L]);
+  }
+  std::array<std::size_t, kLanes> idle{};
+  for (std::size_t L = 0; L < lanes; ++L) {
+    idle[L] = steps - warm[L] - len[L];
+  }
+
+  // Per-lane operand state (held constant while a lane idles) and the
+  // lane-major input assembly: one transpose per operand per sweep turns
+  // 64 row stimuli into the per-primary-input words the engine consumes.
+  std::array<std::uint64_t, kLanes> curA{};
+  std::array<std::uint64_t, kLanes> curB{};
+  std::uint64_t cinWord = 0;
+  std::array<std::uint64_t, kLanes> aM{};
+  std::array<std::uint64_t, kLanes> bM{};
+  std::array<std::uint64_t, kLanes> outM{};
+  std::vector<std::uint64_t> inWords(2 * width + 1, 0);
+  std::vector<std::uint64_t> outWords;
+  const auto assembleInputs = [&] {
+    aM = curA;
+    bM = curB;
+    netlist::transpose64(aM);
+    netlist::transpose64(bM);
+    for (std::size_t i = 0; i < width; ++i) {
+      inWords[i] = aM[i];
+      inWords[width + i] = bM[i];
+    }
+    inWords[2 * width] = cinWord;
+  };
+  const auto setLane = [&](std::size_t L, const Stimulus& s) {
+    curA[L] = s.a;
+    curB[L] = s.b;
+    const std::uint64_t bit = std::uint64_t{1} << L;
+    cinWord = s.carryIn ? (cinWord | bit) : (cinWord & ~bit);
+  };
+
+  sampler_.simulator().reset();
+  for (std::size_t L = 0; L < lanes; ++L) {
+    setLane(L, stimuli[start[L] - warm[L]]);  // chunk's settle vector
+  }
+  assembleInputs();
+  sampler_.initialize(inWords);
+
+  for (std::size_t j = 0; j < steps; ++j) {
+    for (std::size_t L = 0; L < lanes; ++L) {
+      if (j >= idle[L]) {
+        setLane(L, stimuli[start[L] - warm[L] + 1 + (j - idle[L])]);
+      }
+    }
+    assembleInputs();
+    sampler_.stepInto(inWords, outWords);
+    // Output words are lane-major (word o = output o across lanes); one
+    // transpose yields each lane's packed output value in its own row.
+    for (std::size_t o = 0; o <= width; ++o) outM[o] = outWords[o];
+    std::fill(outM.begin() + static_cast<std::ptrdiff_t>(width + 1),
+              outM.end(), 0);
+    netlist::transpose64(outM);
+    for (std::size_t L = 0; L < lanes; ++L) {
+      if (j < idle[L] + warm[L]) continue;  // idling or warming up
+      const std::size_t rec = start[L] + (j - idle[L] - warm[L]);
+      trace[rec].silver = outM[L] & sumMask;
+      trace[rec].silverCout = ((outM[L] >> width) & 1u) != 0;
+    }
+  }
+}
+
+CollectedTrace TraceCollector::collectPacked(
+    Workload& workload, std::uint64_t cycles,
+    const predict::FeatureExtractor& extractor) {
+  if (extractor.width() != design_.config.width) {
+    throw std::invalid_argument(
+        "TraceCollector::collectPacked: extractor width mismatch");
+  }
+  CollectedTrace out;
+  out.trace = collect(workload, cycles);
+  out.packed = extractor.packTrace(out.trace);
+  return out;
+}
 
 predict::Trace collectTrace(const circuits::SynthesizedDesign& design,
                             double periodNs, Workload& workload,
                             std::uint64_t cycles) {
+  TraceCollector collector(design, periodNs);
+  return collector.collect(workload, cycles);
+}
+
+predict::Trace collectTraceScalar(const circuits::SynthesizedDesign& design,
+                                  double periodNs, Workload& workload,
+                                  std::uint64_t cycles) {
   const int width = design.config.width;
   const core::IsaAdder behavioral(design.config);
   timing::ClockedSampler sampler(design.netlist, design.delays, periodNs);

@@ -4,13 +4,35 @@
 // workload through the overclocked event-driven simulator, recording per
 // cycle the exact sum (y_diamond), the behavioral/RTL sum (y_gold) and the
 // gate-level sampled sum (y_silver).
+//
+// TraceCollector is the 64-lane engine for that step. It materializes the
+// workload stream once, splits the run into up to 64 contiguous chunks,
+// and replays every chunk as an independent lane of one
+// timing::LaneTimedSimulator sweep over the shared compiled netlist — 64
+// overclocked cycles per wheel pass instead of one. The replay is
+// **bit-exact** versus the sequential scalar collector at any lane count:
+// a latched output depends only on the input vectors applied within one
+// maximum-path-delay window before its edge, so seeding each chunk with a
+// settle on the stimulus just before its window (plus `warmUpCycles()`
+// replayed-but-discarded cycles when the overclock is deeper than half
+// the critical path) reproduces the mid-stream simulator state exactly.
+// tests/lane_sim_test.cpp asserts record-for-record equality against the
+// retained scalar reference (collectTraceScalar), and
+// bench/micro_lane_sim.cpp re-proves it before gating the speedup.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "circuits/synthesis.h"
+#include "core/isa_adder.h"
 #include "experiments/workload.h"
+#include "netlist/compiled_netlist.h"
+#include "predict/features.h"
 #include "predict/trace.h"
+#include "timing/lane_sim.h"
 
 namespace oisa::experiments {
 
@@ -20,10 +42,82 @@ namespace oisa::experiments {
   return signOffNs * (1.0 - cprPercent / 100.0);
 }
 
-/// Runs `cycles` cycles of `workload` through `design` at `periodNs` and
-/// returns the per-cycle trace. The first stimulus is used as a settled
-/// reset vector (not recorded).
+/// A collected trace together with its packed bit-column form (the
+/// ml::PackedView substrate the predictor bank trains and evaluates on).
+struct CollectedTrace {
+  predict::Trace trace;
+  predict::PackedTraceFeatures packed;
+};
+
+/// Lane-parallel timed trace collector for one (design, period) point.
+///
+/// Construct once per point and reuse across collects (train/test streams,
+/// repeated sweeps): the netlist is compiled once and the lane simulator's
+/// buffers are recycled. Each collect() resets the simulator, so repeated
+/// runs with identically seeded workloads are bit-identical.
+class TraceCollector {
+ public:
+  /// `periodNs` — the (possibly overclocked) clock period. `maxLanes`
+  /// caps the independent replay streams per sweep (1 forces the scalar
+  /// path; results are bit-identical at any value).
+  TraceCollector(const circuits::SynthesizedDesign& design, double periodNs,
+                 std::size_t maxLanes = timing::LaneTimedSimulator::kLanes);
+
+  /// Runs `cycles` cycles of `workload` through the design and returns the
+  /// per-cycle trace. The first stimulus is used as a settled reset vector
+  /// (not recorded). Bit-identical to collectTraceScalar() for the same
+  /// workload state at any lane count.
+  [[nodiscard]] predict::Trace collect(Workload& workload,
+                                       std::uint64_t cycles);
+
+  /// collect() plus the packed bit-column emission: the collector owns
+  /// each trace's single packing pass (the 64-row block shift-and-
+  /// transpose of FeatureExtractor::packTrace, run once here over the
+  /// collected records), so downstream consumers (BitLevelPredictor::
+  /// fit/evaluate) take the packed blocks directly and never re-pack.
+  [[nodiscard]] CollectedTrace collectPacked(
+      Workload& workload, std::uint64_t cycles,
+      const predict::FeatureExtractor& extractor);
+
+  [[nodiscard]] double periodNs() const noexcept { return periodNs_; }
+  [[nodiscard]] timing::TimePs periodPs() const noexcept { return periodPs_; }
+
+  /// Cycles replayed (and discarded) ahead of each chunk so the chunk's
+  /// first recorded cycle sees the exact mid-stream simulator state: the
+  /// smallest W with (W + 2) * period > critical path. 0 for every paper
+  /// design point (critical path < 2 periods at 5-15% CPR).
+  [[nodiscard]] int warmUpCycles() const noexcept { return warmUp_; }
+
+  /// Lanes a run of `cycles` would use (chunks must cover their warm-up).
+  [[nodiscard]] std::size_t lanesFor(std::uint64_t cycles) const noexcept;
+
+ private:
+  void fillSilverLane(std::span<const Stimulus> stimuli,
+                      predict::Trace& trace, std::size_t lanes);
+  void fillSilverScalar(std::span<const Stimulus> stimuli,
+                        predict::Trace& trace);
+
+  const circuits::SynthesizedDesign& design_;
+  core::IsaAdder behavioral_;
+  std::shared_ptr<const netlist::CompiledNetlist> compiled_;
+  timing::LaneClockedSampler sampler_;
+  double periodNs_;
+  timing::TimePs periodPs_;
+  int warmUp_ = 0;
+  std::size_t maxLanes_;
+};
+
+/// Convenience wrapper: one lane-parallel collection over a fresh
+/// TraceCollector. All figure/table pipelines route through this.
 [[nodiscard]] predict::Trace collectTrace(
+    const circuits::SynthesizedDesign& design, double periodNs,
+    Workload& workload, std::uint64_t cycles);
+
+/// The retained sequential reference collector (the seed path): one
+/// scalar wheel-engine cycle per stimulus. Differential tests and
+/// micro_lane_sim compare the lane collector against this record for
+/// record.
+[[nodiscard]] predict::Trace collectTraceScalar(
     const circuits::SynthesizedDesign& design, double periodNs,
     Workload& workload, std::uint64_t cycles);
 

@@ -2,45 +2,47 @@
 
 #include <array>
 #include <stdexcept>
+#include <string>
+
+#include "netlist/bitops.h"
 
 namespace oisa::netlist {
 
-void transpose64(std::span<std::uint64_t, 64> rows) noexcept {
-  // Hacker's Delight 7-6 block-swap, in LSB-first convention (element
-  // (i, j) = bit j of rows[i]): at each step, exchange the upper-right and
-  // lower-left j x j sub-blocks of every 2j x 2j block along the diagonal.
-  std::uint64_t m = 0x00000000ffffffffull;
-  for (std::size_t j = 32; j != 0; j >>= 1, m ^= m << j) {
-    for (std::size_t k = 0; k < 64; k = (k + j + 1) & ~j) {
-      const std::uint64_t t = ((rows[k] >> j) ^ rows[k + j]) & m;
-      rows[k] ^= t << j;
-      rows[k + j] ^= t;
-    }
+namespace {
+
+std::shared_ptr<const CompiledNetlist> requireAcyclic(
+    std::shared_ptr<const CompiledNetlist> compiled) {
+  if (!compiled || !compiled->acyclic()) {
+    throw std::runtime_error(
+        "BatchEvaluator: netlist has a combinational cycle");
   }
+  return compiled;
 }
 
+}  // namespace
+
 BatchEvaluator::BatchEvaluator(const Netlist& nl)
-    : nl_(nl), order_(nl.topologicalOrder()) {}
+    : BatchEvaluator(CompiledNetlist::compile(nl)) {}
+
+BatchEvaluator::BatchEvaluator(std::shared_ptr<const CompiledNetlist> compiled)
+    : compiled_(requireAcyclic(std::move(compiled))) {}
 
 void BatchEvaluator::evaluateInto(std::span<const std::uint64_t> inputWords,
                                   std::vector<std::uint64_t>& values) const {
-  const auto pis = nl_.primaryInputs();
+  const auto pis = compiled_->inputNets();
   if (inputWords.size() != pis.size()) {
     throw std::invalid_argument(
         "BatchEvaluator: expected " + std::to_string(pis.size()) +
         " input words, got " + std::to_string(inputWords.size()));
   }
-  values.assign(nl_.netCount(), 0);
+  values.assign(compiled_->netCount(), 0);
   for (std::size_t i = 0; i < pis.size(); ++i) {
-    values[pis[i].value] = inputWords[i];
+    values[pis[i]] = inputWords[i];
   }
-  for (GateId gid : order_) {
-    const Gate& g = nl_.gateAt(gid);
-    const auto ins = g.inputs();
-    const std::uint64_t a = ins.empty() ? 0 : values[ins[0].value];
-    const std::uint64_t b = ins.size() > 1 ? values[ins[1].value] : 0;
-    const std::uint64_t c = ins.size() > 2 ? values[ins[2].value] : 0;
-    values[g.out.value] = evalGateWord(g.kind, a, b, c);
+  for (const std::uint32_t gi : compiled_->topologicalOrder()) {
+    const CompiledNetlist::GateRec& g = compiled_->gate(gi);
+    values[g.out] = evalGateWord(g.kind, values[g.in[0]], values[g.in[1]],
+                                 values[g.in[2]]);
   }
 }
 
@@ -54,18 +56,18 @@ std::vector<std::uint64_t> BatchEvaluator::evaluate(
 std::vector<std::uint64_t> BatchEvaluator::evaluateOutputs(
     std::span<const std::uint64_t> inputWords) const {
   const auto values = evaluate(inputWords);
-  const auto pos = nl_.primaryOutputs();
+  const auto pos = compiled_->outputNets();
   std::vector<std::uint64_t> out(pos.size());
   for (std::size_t i = 0; i < pos.size(); ++i) {
-    out[i] = values[pos[i].value];
+    out[i] = values[pos[i]];
   }
   return out;
 }
 
 std::vector<std::uint64_t> BatchEvaluator::evaluateWords(
     std::span<const std::uint64_t> patterns) const {
-  const auto pis = nl_.primaryInputs();
-  const auto pos = nl_.primaryOutputs();
+  const auto pis = compiled_->inputNets();
+  const auto pos = compiled_->outputNets();
   if (pis.size() > kLanes || pos.size() > kLanes) {
     throw std::invalid_argument("BatchEvaluator::evaluateWords: > 64 ports");
   }

@@ -7,14 +7,19 @@
 // scalar Evaluator pass, so throughput improves by up to 64x for functional
 // Monte-Carlo sampling, equivalence checking and workload replay.
 //
-// Functionally equivalent to Evaluator lane by lane (cross-checked by
-// tests/batch_evaluator_test.cpp on every adder topology).
+// Runs over the shared netlist::CompiledNetlist substrate (dense gate
+// records + cached topological order), so it can share one compile with the
+// timed engines. Functionally equivalent to Evaluator lane by lane
+// (cross-checked by tests/batch_evaluator_test.cpp on every adder
+// topology). The 64x64 lane transpose lives in netlist/bitops.h.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "netlist/compiled_netlist.h"
 #include "netlist/netlist.h"
 
 namespace oisa::netlist {
@@ -46,14 +51,7 @@ namespace oisa::netlist {
   return 0;
 }
 
-/// In-place transpose of a 64x64 bit matrix stored as 64 row words
-/// (bit j of rows[i] = element (i, j)). Used to convert between
-/// pattern-major packed words (Evaluator::evaluateWord convention) and the
-/// lane-major layout the batch sweep operates on.
-void transpose64(std::span<std::uint64_t, 64> rows) noexcept;
-
-/// Reusable 64-lane evaluator. Caches the topological order (like
-/// Evaluator), so each batch of up to 64 patterns is one linear sweep.
+/// Reusable 64-lane evaluator over a compiled netlist.
 ///
 /// Two layouts are supported:
 ///  * lane-major ("one word per net"): evaluate()/evaluateOutputs() take one
@@ -67,7 +65,13 @@ class BatchEvaluator {
   /// Number of patterns evaluated per sweep.
   static constexpr std::size_t kLanes = 64;
 
+  /// Compiles `nl` privately. Throws std::runtime_error on a cyclic
+  /// netlist (functional evaluation needs a topological order).
   explicit BatchEvaluator(const Netlist& nl);
+
+  /// Shares an existing compile (e.g. with a timed engine over the same
+  /// design). Same cycle check as the Netlist constructor.
+  explicit BatchEvaluator(std::shared_ptr<const CompiledNetlist> compiled);
 
   /// Evaluates 64 patterns at once. `inputWords` holds one word per primary
   /// input (declaration order); bit L of word i is pattern L's value of
@@ -94,11 +98,16 @@ class BatchEvaluator {
   [[nodiscard]] std::vector<std::uint64_t> evaluateWords(
       std::span<const std::uint64_t> patterns) const;
 
-  [[nodiscard]] const Netlist& netlist() const noexcept { return nl_; }
+  [[nodiscard]] const Netlist& netlist() const noexcept {
+    return compiled_->source();
+  }
+  [[nodiscard]] const std::shared_ptr<const CompiledNetlist>& compiled()
+      const noexcept {
+    return compiled_;
+  }
 
  private:
-  const Netlist& nl_;
-  std::vector<GateId> order_;
+  std::shared_ptr<const CompiledNetlist> compiled_;
 };
 
 }  // namespace oisa::netlist

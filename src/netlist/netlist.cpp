@@ -80,6 +80,20 @@ void Netlist::output(std::string name, NetId net) {
   outputNames_.push_back(std::move(name));
 }
 
+void Netlist::replaceGateInput(GateId gate, int pin, NetId net) {
+  if (!gate.valid() || gate.value >= gates_.size()) {
+    throw std::invalid_argument("Netlist::replaceGateInput: invalid gate");
+  }
+  Gate& g = gates_[gate.value];
+  if (pin < 0 || pin >= gateArity(g.kind)) {
+    throw std::invalid_argument("Netlist::replaceGateInput: invalid pin");
+  }
+  if (!net.valid() || net.value >= nets_.size()) {
+    throw std::invalid_argument("Netlist::replaceGateInput: invalid net");
+  }
+  g.in[static_cast<std::size_t>(pin)] = net;
+}
+
 std::vector<GateId> Netlist::topologicalOrder() const {
   // Kahn's algorithm over the gate graph. A gate is ready once all of its
   // input nets are driven by primary inputs or already-emitted gates.

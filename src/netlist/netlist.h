@@ -101,6 +101,13 @@ class Netlist {
   /// Declares `net` as a primary output named `name`.
   void output(std::string name, NetId net);
 
+  /// Rewires input pin `pin` of `gate` to read `net` (transform/rewiring
+  /// primitive). This can create combinational cycles: `validate()` and
+  /// `topologicalOrder()` report them, functional evaluators refuse them,
+  /// and the timed engines construct anyway, relying on their event
+  /// budgets to diagnose non-settling runs.
+  void replaceGateInput(GateId gate, int pin, NetId net);
+
   // --- structure queries --------------------------------------------------
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }

@@ -21,15 +21,23 @@ void BitLevelPredictor::fit(const Trace& trainTrace) {
     throw std::invalid_argument(
         "BitLevelPredictor::fit: need at least two records");
   }
+  // One packed pass over the trace; the per-bit datasets are views sharing
+  // the operand/transition columns (only the two yRTL_n columns and the
+  // labels differ per bit).
+  fit(extractor_.packTrace(trainTrace));
+}
+
+void BitLevelPredictor::fit(const PackedTraceFeatures& packed) {
+  validatePacked(packed);
+  if (packed.rowCount < 1) {
+    throw std::invalid_argument(
+        "BitLevelPredictor::fit: need at least one packed row");
+  }
   const int bits = extractor_.outputBitCount();
   forests_.clear();
   treesOnly_.clear();
   majorities_.clear();
 
-  // One packed pass over the trace; the per-bit datasets are views sharing
-  // the operand/transition columns (only the two yRTL_n columns and the
-  // labels differ per bit).
-  const PackedTraceFeatures packed = extractor_.packTrace(trainTrace);
   for (int bit = 0; bit < bits; ++bit) {
     const ml::PackedView view = extractor_.bitView(packed, bit);
     const std::uint64_t seed =
@@ -170,24 +178,50 @@ PredictedFlips BitLevelPredictor::predictFlips(
   return flips;
 }
 
-PredictorEvaluation BitLevelPredictor::evaluate(const Trace& testTrace) const {
-  if (!trained_) {
-    throw std::logic_error("BitLevelPredictor: evaluate before fit");
+void BitLevelPredictor::validatePacked(
+    const PackedTraceFeatures& packed) const {
+  const auto bits = static_cast<std::size_t>(extractor_.outputBitCount());
+  const std::size_t expected = bits * packed.wordCount;
+  if (packed.sharedCount != extractor_.sharedFeatureCount() ||
+      packed.labels.size() != expected ||
+      (params_.includeOutputBits &&
+       (packed.goldPrev.size() != expected ||
+        packed.goldCur.size() != expected))) {
+    throw std::invalid_argument(
+        "BitLevelPredictor: packed columns do not match the extractor "
+        "configuration (width / output-bit ablation)");
   }
+}
+
+PredictorEvaluation BitLevelPredictor::evaluate(const Trace& testTrace) const {
+  // Pack the test trace once, then run the packed sweep below.
   if (testTrace.size() < 2) {
     throw std::invalid_argument(
         "BitLevelPredictor::evaluate: need at least two records");
+  }
+  return evaluate(testTrace, extractor_.packTrace(testTrace));
+}
+
+PredictorEvaluation BitLevelPredictor::evaluate(
+    const Trace& testTrace, const PackedTraceFeatures& packed) const {
+  if (!trained_) {
+    throw std::logic_error("BitLevelPredictor: evaluate before fit");
+  }
+  validatePacked(packed);
+  if (testTrace.size() < 2 || packed.rowCount != testTrace.size() - 1) {
+    throw std::invalid_argument(
+        "BitLevelPredictor::evaluate: packed rows must be the trace's "
+        "consecutive record pairs");
   }
   const int width = extractor_.width();
   const int bits = extractor_.outputBitCount();
   PredictorEvaluation eval;
   std::vector<std::uint64_t> wrong(static_cast<std::size_t>(bits), 0);
 
-  // Pack the test trace once, then sweep it 64 cycles at a time: per block
-  // each bit's classifier walks its forest under lane masks, the
-  // mispredictions are popcounts of prediction-vs-label words, and only
-  // the value-level (AVPE) arithmetic touches individual cycles.
-  const PackedTraceFeatures packed = extractor_.packTrace(testTrace);
+  // Sweep the packed columns 64 cycles at a time: per block each bit's
+  // classifier walks its forest under lane masks, the mispredictions are
+  // popcounts of prediction-vs-label words, and only the value-level
+  // (AVPE) arithmetic touches individual cycles.
   const std::size_t words = packed.wordCount;
   const std::size_t rows = packed.rowCount;
   const std::size_t shared = packed.sharedCount;

@@ -76,6 +76,13 @@ class BitLevelPredictor {
   /// the shared matrix.
   void fit(const Trace& trainTrace);
 
+  /// Trains directly from pre-packed bit columns (the lane trace
+  /// collector's native output — see experiments::TraceCollector::
+  /// collectPacked), skipping the per-call packing pass. `packed` must
+  /// have been produced by an extractor configured like this bank's
+  /// (same width and output-bit ablation).
+  void fit(const PackedTraceFeatures& packed);
+
   /// Predicts the timing-class vector for the cycle `current` given the
   /// preceding record. Allocation-free: one shared feature extraction per
   /// call, two patched bytes per bit.
@@ -85,6 +92,13 @@ class BitLevelPredictor {
   /// Runs the model over a test trace and computes ABPER / AVPE via the
   /// 64-lane batched sweep (bit-identical to the per-cycle scalar path).
   [[nodiscard]] PredictorEvaluation evaluate(const Trace& testTrace) const;
+
+  /// Like evaluate(testTrace) but consuming the trace's pre-packed
+  /// columns (`packed` must be the packing of `testTrace` by an extractor
+  /// configured like this bank's); the trace itself is only read for the
+  /// value-level (AVPE) arithmetic.
+  [[nodiscard]] PredictorEvaluation evaluate(
+      const Trace& testTrace, const PackedTraceFeatures& packed) const;
 
   [[nodiscard]] int width() const noexcept { return extractor_.width(); }
   [[nodiscard]] const FeatureExtractor& extractor() const noexcept {
@@ -112,6 +126,8 @@ class BitLevelPredictor {
   [[nodiscard]] std::uint64_t predictBitWord(
       std::span<const std::uint64_t> featureWords, int bit,
       std::span<double> probabilities) const;
+  /// Checks that `packed` matches this bank's extractor configuration.
+  void validatePacked(const PackedTraceFeatures& packed) const;
 
   PredictorParams params_;
   FeatureExtractor extractor_;

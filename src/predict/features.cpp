@@ -4,7 +4,7 @@
 #include <array>
 #include <stdexcept>
 
-#include "netlist/batch_evaluator.h"
+#include "netlist/bitops.h"
 
 namespace oisa::predict {
 

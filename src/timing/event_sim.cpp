@@ -3,84 +3,46 @@
 #include <algorithm>
 #include <bit>
 #include <stdexcept>
-
-#include "netlist/evaluator.h"
+#include <string>
 
 namespace oisa::timing {
 
-using netlist::Gate;
-using netlist::GateId;
+using netlist::CompiledNetlist;
 using netlist::Netlist;
 using netlist::NetId;
 
 TimedSimulator::TimedSimulator(const Netlist& nl,
                                const DelayAnnotation& delays)
-    : nl_(nl) {
-  if (delays.gateCount() != nl.gateCount()) {
+    : TimedSimulator(CompiledNetlist::compile(nl), delays) {}
+
+TimedSimulator::TimedSimulator(
+    std::shared_ptr<const CompiledNetlist> compiled,
+    const DelayAnnotation& delays)
+    : compiled_(std::move(compiled)) {
+  if (delays.gateCount() != compiled_->gateCount()) {
     throw std::invalid_argument(
         "TimedSimulator: annotation does not match netlist");
   }
-  inputNets_.reserve(nl.primaryInputs().size());
-  for (const NetId pi : nl.primaryInputs()) inputNets_.push_back(pi.value);
+  fanoutOffset_ = compiled_->fanoutOffsets();
+  readers_ = compiled_->readers();
+  inputNets_ = compiled_->inputNets();
   // Flatten gates into dense 16-byte records: packed evaluation word,
-  // output net, quantized delay.
+  // output net, quantized delay. Structure (truth table, output net) comes
+  // from the shared compile; the delay is per annotation, the state word
+  // per simulator.
   const std::vector<TimePs> delaysPs = delays.quantizedDelaysPs();
   TimePs maxDelay = 0;
-  gates_.resize(nl.gateCount());
-  for (std::uint32_t gi = 0; gi < nl.gateCount(); ++gi) {
-    const Gate& g = nl.gateAt(GateId{gi});
+  gates_.resize(compiled_->gateCount());
+  for (std::uint32_t gi = 0; gi < gates_.size(); ++gi) {
+    const CompiledNetlist::GateRec& g = compiled_->gate(gi);
     const TimePs d = delaysPs[gi];
     if (d < 0 || d > kMaxDelayPs) {
       throw std::invalid_argument(
           "TimedSimulator: gate delay outside supported range [0, ~1us]");
     }
-    std::uint32_t truth = 0;
-    for (unsigned m = 0; m < 8; ++m) {
-      if (netlist::evalGate(g.kind, (m & 1) != 0, (m & 2) != 0,
-                            (m & 4) != 0)) {
-        truth |= 1u << m;
-      }
-    }
-    gates_[gi] = GateRec{truth << kTruthShift, g.out.value,
-                         static_cast<std::uint32_t>(d)};
+    gates_[gi] = GateRec{static_cast<std::uint32_t>(g.truth) << kTruthShift,
+                         g.out, static_cast<std::uint32_t>(d)};
     maxDelay = std::max(maxDelay, d);
-  }
-  // CSR fanout: for each net, the gates reading it, with the minterm bits
-  // the net drives packed into the entry's low bits. A net wired to
-  // several pins of one gate becomes a single entry with the merged mask,
-  // so one committed change updates the whole minterm before the gate is
-  // re-evaluated (the per-pin duplicates in Netlist::fanoutMap are
-  // adjacent, which makes the merge a one-entry lookback).
-  fanoutOffset_.assign(nl.netCount() + 1, 0);
-  constexpr std::uint32_t kNoGate = 0xffffffff;
-  std::vector<std::uint32_t> lastGate(nl.netCount(), kNoGate);
-  for (std::uint32_t gi = 0; gi < nl.gateCount(); ++gi) {
-    for (const NetId in : nl.gateAt(GateId{gi}).inputs()) {
-      if (lastGate[in.value] != gi) {
-        lastGate[in.value] = gi;
-        ++fanoutOffset_[in.value + 1];
-      }
-    }
-  }
-  for (std::size_t i = 1; i < fanoutOffset_.size(); ++i) {
-    fanoutOffset_[i] += fanoutOffset_[i - 1];
-  }
-  readers_.resize(fanoutOffset_.back());
-  std::vector<std::uint32_t> cursor(fanoutOffset_.begin(),
-                                    fanoutOffset_.end() - 1);
-  std::fill(lastGate.begin(), lastGate.end(), kNoGate);
-  for (std::uint32_t gi = 0; gi < nl.gateCount(); ++gi) {
-    const auto ins = nl.gateAt(GateId{gi}).inputs();
-    for (std::size_t pin = 0; pin < ins.size(); ++pin) {
-      const std::uint32_t net = ins[pin].value;
-      const auto mask = static_cast<std::uint32_t>(1u << pin);
-      if (lastGate[net] == gi) {
-        readers_[cursor[net] - 1] |= mask;  // merge multi-pin connection
-      } else {
-        lastGate[net] = gi;
-        readers_[cursor[net]++] = (gi << 3) | mask;
-      }
-    }
   }
   // All pending events lie within maxDelay of the processing cursor, so a
   // power-of-two wheel strictly larger than maxDelay never aliases two
@@ -92,30 +54,46 @@ TimedSimulator::TimedSimulator(const Netlist& nl,
 }
 
 void TimedSimulator::reset() {
-  // The consistent "powered-up and settled with all inputs low" state: a
-  // zero-delay evaluation with all primary inputs at 0 (this also assigns
-  // constant nets their value).
-  const netlist::Evaluator eval(nl_);
-  std::vector<std::uint8_t> zeros(nl_.primaryInputs().size(), 0);
-  values_ = eval.evaluate(zeros);
-  for (std::uint32_t gi = 0; gi < nl_.gateCount(); ++gi) {
-    const Gate& g = nl_.gateAt(GateId{gi});
-    const auto ins = g.inputs();
-    std::uint32_t minterm = 0;
-    for (std::size_t pin = 0; pin < ins.size(); ++pin) {
-      if (values_[ins[pin].value] != 0) minterm |= 1u << pin;
-    }
-    std::uint32_t s = gates_[gi].state;
-    s &= ~(kMintermMask | (1u << kLastSchedShift));
-    s |= minterm;
-    s |= static_cast<std::uint32_t>(values_[g.out.value]) << kLastSchedShift;
-    gates_[gi].state = s;
-  }
+  // The consistent "powered-up and settled with all inputs low" state,
+  // precomputed by the compile. For a cyclic netlist no settled state
+  // exists: nets power up at 0 and every gate whose function disagrees
+  // with that is scheduled to react below, so the first advance/settle
+  // converges to a logic-consistent quiescent state (or trips the event
+  // budget if the loop oscillates).
+  const auto zero = compiled_->zeroState();
+  values_.assign(zero.begin(), zero.end());
   for (Slot& slot : wheel_) slot.len = 0;
   pending_ = 0;
   now_ = 0;
   cursor_ = 0;
   eventCount_ = 0;
+  for (std::uint32_t gi = 0; gi < gates_.size(); ++gi) {
+    const CompiledNetlist::GateRec& g = compiled_->gate(gi);
+    const std::uint32_t minterm =
+        static_cast<std::uint32_t>(values_[g.in[0]]) |
+        (static_cast<std::uint32_t>(values_[g.in[1]]) << 1) |
+        (static_cast<std::uint32_t>(values_[g.in[2]]) << 2);
+    const std::uint32_t out =
+        (static_cast<std::uint32_t>(g.truth) >> minterm) & 1u;
+    std::uint32_t s = gates_[gi].state;
+    s &= ~(kMintermMask | (1u << kLastSchedShift));
+    s |= minterm;
+    s |= out << kLastSchedShift;
+    gates_[gi].state = s;
+    // Never fires for an acyclic compile (the zero state is the gates'
+    // fixed point); in a cyclic one, power-up disagreements become
+    // ordinary transport-delayed events.
+    if (out != values_[g.out]) [[unlikely]] {
+      GateRec& rec = gates_[gi];
+      Slot& slot = wheel_[rec.delayPs & wheelMask_];
+      if (slot.len == slot.data.size()) {
+        slot.data.resize(std::max<std::size_t>(8, slot.data.size() * 2));
+      }
+      slot.data[slot.len] = SlotEvent{rec.out, out};
+      ++slot.len;
+      ++pending_;
+    }
+  }
 }
 
 void TimedSimulator::applyInputs(std::span<const std::uint8_t> inputValues) {
@@ -174,7 +152,9 @@ void TimedSimulator::drainSlot(TimePs t) {
     const SlotEvent e = slot.data[i];
     if (values_[e.net] == e.value) continue;
     values_[e.net] = static_cast<std::uint8_t>(e.value);
-    ++eventCount_;
+    if (++eventCount_ > failAt_) [[unlikely]] {
+      throwBudgetExceeded();
+    }
     if (observer_) [[unlikely]] {
       observer_(static_cast<double>(t) / kPsPerNs, NetId{e.net},
                 e.value != 0);
@@ -183,6 +163,14 @@ void TimedSimulator::drainSlot(TimePs t) {
   }
   pending_ -= slot.len;
   slot.len = 0;
+}
+
+void TimedSimulator::throwBudgetExceeded() const {
+  throw std::runtime_error(
+      "TimedSimulator: event budget of " + std::to_string(budget_) +
+      " committed events exceeded within one advance/settle call — "
+      "non-settling or cyclic netlist? (the simulator state is "
+      "inconsistent; call reset() before reuse)");
 }
 
 void TimedSimulator::runUntil(TimePs horizon) {
@@ -197,11 +185,19 @@ void TimedSimulator::advancePs(TimePs deltaPs) {
   if (deltaPs < 0) {
     throw std::invalid_argument("TimedSimulator: negative advance");
   }
+  // Saturating: a budget of ~0 ("unlimited") must not wrap failAt_.
+  failAt_ = eventCount_ > ~std::uint64_t{0} - budget_
+                ? ~std::uint64_t{0}
+                : eventCount_ + budget_;
   runUntil(now_ + deltaPs);
   now_ += deltaPs;
 }
 
 TimePs TimedSimulator::settlePs() {
+  // Saturating: a budget of ~0 ("unlimited") must not wrap failAt_.
+  failAt_ = eventCount_ > ~std::uint64_t{0} - budget_
+                ? ~std::uint64_t{0}
+                : eventCount_ + budget_;
   TimePs last = now_;
   while (pending_ > 0) {
     if (wheel_[cursor_ & wheelMask_].len != 0) last = cursor_;
@@ -220,10 +216,10 @@ std::vector<std::uint8_t> TimedSimulator::sampleOutputs() const {
 }
 
 void TimedSimulator::sampleOutputsInto(std::vector<std::uint8_t>& out) const {
-  const auto pos = nl_.primaryOutputs();
+  const auto pos = compiled_->outputNets();
   out.resize(pos.size());
   for (std::size_t i = 0; i < pos.size(); ++i) {
-    out[i] = values_[pos[i].value];
+    out[i] = values_[pos[i]];
   }
 }
 

@@ -15,9 +15,14 @@
 // net's pending events never lie more than the maximum gate delay ahead
 // of the processing cursor, a power-of-two wheel sized past that delay
 // holds at most one distinct timestamp per slot and event extraction is
-// O(1) — no heap, no comparisons, no allocation in steady state. Fanout
-// is flattened to CSR arrays and gate functions to 8-entry truth tables,
-// so the hot loop touches only dense per-simulator storage.
+// O(1) — no heap, no comparisons, no allocation in steady state.
+//
+// The immutable structure (CSR fanout with packed pin masks, truth
+// tables, settled reset state) comes from the shared
+// netlist::CompiledNetlist substrate, so a pipeline running several
+// engines over one design — this scalar wheel, the 64-lane
+// LaneTimedSimulator (lane_sim.h), the functional BatchEvaluator —
+// compiles the netlist exactly once and shares the read-only arrays.
 //
 // The seed binary-heap engine is retained verbatim (on the same ps grid)
 // as timing::HeapSimulator in heap_sim.h for differential tests and the
@@ -26,9 +31,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "netlist/compiled_netlist.h"
 #include "netlist/netlist.h"
 #include "timing/delay_annotation.h"
 
@@ -40,9 +47,20 @@ namespace oisa::timing {
 /// for tests and custom experiments. The double-valued methods
 /// (advance/settle/nowNs) quantize to the ps grid via quantizeSpanPs and
 /// remain for API compatibility; hot paths should use the *Ps forms.
+///
+/// Cyclic netlists (possible after transform rewiring) construct and
+/// power up all-zero with disagreeing gates scheduled to react; any run
+/// that fails to quiesce — combinational cycle, oscillator — is caught by
+/// the per-call event budget (see setEventBudget) instead of looping
+/// forever.
 class TimedSimulator {
  public:
+  /// Compiles `nl` privately.
   TimedSimulator(const netlist::Netlist& nl, const DelayAnnotation& delays);
+
+  /// Shares an existing compile with other engines over the same design.
+  TimedSimulator(std::shared_ptr<const netlist::CompiledNetlist> compiled,
+                 const DelayAnnotation& delays);
 
   /// Applies primary-input values at the current simulation time.
   void applyInputs(std::span<const std::uint8_t> inputValues);
@@ -55,8 +73,9 @@ class TimedSimulator {
   /// grid, so advancing past an event time still passes it).
   void advance(double deltaNs) { advancePs(quantizeSpanPs(deltaNs)); }
 
-  /// Processes every pending event (unbounded settle). Returns the
-  /// timestamp of the last processed event.
+  /// Processes every pending event (settle). Returns the timestamp of the
+  /// last processed event. Throws std::runtime_error with a diagnostic if
+  /// the event budget is exceeded (non-settling or cyclic netlist).
   TimePs settlePs();
 
   /// Nanosecond form of settlePs.
@@ -84,12 +103,32 @@ class TimedSimulator {
     return eventCount_;
   }
 
-  /// Resets to the all-undefined (zero) state at time 0 with no events.
+  /// Caps the committed events a single advancePs/settlePs call may
+  /// process before throwing std::runtime_error. This is the guard that
+  /// turns a non-settling netlist (combinational cycle, oscillator) into
+  /// a clear diagnostic instead of an unbounded loop. The default budget
+  /// (~4M events per call) is far above any legitimate single-period
+  /// advance or settle of the supported design sizes.
+  void setEventBudget(std::uint64_t maxEventsPerCall) noexcept {
+    budget_ = maxEventsPerCall;
+  }
+  [[nodiscard]] std::uint64_t eventBudget() const noexcept { return budget_; }
+
+  /// Resets to the settled all-inputs-low state at time 0 with no events.
+  /// A cyclic netlist instead powers up all-zero with the disagreeing
+  /// gates scheduled to react, so the first advance/settle converges to a
+  /// logic-consistent quiescent state (or trips the event budget).
   void reset();
 
   /// All current net values, indexed by NetId (for waveform observers).
   [[nodiscard]] const std::vector<std::uint8_t>& netValues() const noexcept {
     return values_;
+  }
+
+  /// The shared compiled structure this simulator runs on.
+  [[nodiscard]] const std::shared_ptr<const netlist::CompiledNetlist>&
+  compiled() const noexcept {
+    return compiled_;
   }
 
   /// Observer invoked on every committed net change (including input
@@ -123,6 +162,7 @@ class TimedSimulator {
   static constexpr std::uint32_t kMintermMask = 0x7;
   static constexpr unsigned kTruthShift = 3;
   static constexpr unsigned kLastSchedShift = 11;
+  static constexpr std::uint64_t kDefaultEventBudget = std::uint64_t{1} << 22;
 
   /// One scheduled net change; its timestamp is implied by the wheel slot.
   struct SlotEvent {
@@ -151,21 +191,24 @@ class TimedSimulator {
   inline void
   drainSlot(TimePs t);
   void runUntil(TimePs horizon);  // processes events with time < horizon
+  [[noreturn]] void throwBudgetExceeded() const;
 
-  const netlist::Netlist& nl_;
-  std::vector<GateRec> gates_;               // indexed by GateId
-  std::vector<std::uint32_t> fanoutOffset_;  // CSR offsets, size netCount+1
-  /// CSR payload: reader gate id << 3 | minterm bits this net drives
-  /// (multi-pin connections merged into one entry).
-  std::vector<std::uint32_t> readers_;
-  std::vector<std::uint32_t> inputNets_;  // primary-input net indices
-  std::vector<std::uint8_t> values_;      // indexed by NetId
+  std::shared_ptr<const netlist::CompiledNetlist> compiled_;
+  std::vector<GateRec> gates_;  // indexed by gate index
+  /// Shared immutable CSR fanout (owned by compiled_): offsets per net,
+  /// entries packing reader gate index << 3 | driven minterm bits.
+  std::span<const std::uint32_t> fanoutOffset_;
+  std::span<const std::uint32_t> readers_;
+  std::span<const std::uint32_t> inputNets_;  // primary-input net indices
+  std::vector<std::uint8_t> values_;          // indexed by NetId
   std::vector<Slot> wheel_;
   std::uint32_t wheelMask_ = 0;
   std::uint64_t pending_ = 0;  // events currently in the wheel
   TimePs now_ = 0;             // simulation frontier
   TimePs cursor_ = 0;          // next tick to scan (<= first pending event)
   std::uint64_t eventCount_ = 0;
+  std::uint64_t budget_ = kDefaultEventBudget;
+  std::uint64_t failAt_ = ~std::uint64_t{0};  // eventCount_ cap of this call
   std::function<void(double, netlist::NetId, bool)> observer_;
 };
 

@@ -1,0 +1,202 @@
+// oisa_timing: 64-lane word-parallel timed event simulation.
+//
+// LaneTimedSimulator is the timed counterpart of netlist::BatchEvaluator:
+// it simulates 64 independent instances ("lanes") of one annotated netlist
+// at once. Every net holds a 64-bit value word (bit L = lane L's value),
+// an event is (timePs, net) carrying the freshly recomputed 64-lane output
+// word, and a gate schedules fanout only when *any* lane changes. Because
+// all lanes share the netlist and its quantized delays, transition times
+// coincide across lanes and one event covers every lane that toggles at
+// that (time, net) — the denser the activity, the closer the engine gets
+// to 64 scalar simulations for the price of one.
+//
+// Per-lane semantics are bit-exact versus the scalar TimedSimulator: a
+// lane's committed waveform, sampled outputs and settle behavior equal a
+// scalar run fed that lane's input stream (asserted by
+// tests/lane_sim_test.cpp on random netlists and all paper design
+// points). The key argument: when a gate re-evaluates because some lane's
+// input changed, a quiet lane's recomputed bit equals the value it
+// already scheduled — its inputs are unchanged since its own last event —
+// so the extra commit is a per-lane no-op.
+//
+// All lanes advance on one shared time wheel and cursor: clock edges are
+// common instants, and the strictly-before-edge latch semantics of the
+// scalar engine hold lane for lane (LaneClockedSampler mirrors
+// ClockedSampler). Structure comes from the shared
+// netlist::CompiledNetlist, so scalar and lane engines over one design
+// share a single compile.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "netlist/compiled_netlist.h"
+#include "netlist/netlist.h"
+#include "timing/delay_annotation.h"
+
+namespace oisa::timing {
+
+/// 64-lane integer-time event-driven simulator over one netlist.
+class LaneTimedSimulator {
+ public:
+  /// Number of independent simulation lanes per instance.
+  static constexpr std::size_t kLanes = 64;
+
+  /// Compiles `nl` privately.
+  LaneTimedSimulator(const netlist::Netlist& nl,
+                     const DelayAnnotation& delays);
+
+  /// Shares an existing compile with other engines over the same design.
+  LaneTimedSimulator(std::shared_ptr<const netlist::CompiledNetlist> compiled,
+                     const DelayAnnotation& delays);
+
+  /// Applies primary-input words at the current simulation time: one word
+  /// per primary input (declaration order), bit L = lane L's value.
+  void applyInputs(std::span<const std::uint64_t> inputWords);
+
+  /// Advances simulation, processing all events strictly before
+  /// `currentTime + deltaPs`, then sets current time to that instant.
+  void advancePs(TimePs deltaPs);
+
+  /// Nanosecond convenience form (rounds the span up to the ps grid).
+  void advance(double deltaNs) { advancePs(quantizeSpanPs(deltaNs)); }
+
+  /// Processes every pending event in every lane. Returns the timestamp of
+  /// the last processed event. Throws std::runtime_error with a diagnostic
+  /// if the event budget is exceeded (non-settling or cyclic netlist).
+  TimePs settlePs();
+
+  /// Current value words of the primary outputs, in declaration order.
+  [[nodiscard]] std::vector<std::uint64_t> sampleOutputs() const;
+
+  /// Allocation-free sampling: writes the primary-output words into `out`.
+  void sampleOutputsInto(std::vector<std::uint64_t>& out) const;
+
+  /// Current 64-lane value word of an arbitrary net.
+  [[nodiscard]] std::uint64_t netWord(netlist::NetId net) const noexcept {
+    return values_[net.value];
+  }
+
+  [[nodiscard]] TimePs nowPs() const noexcept { return now_; }
+
+  /// Committed events since construction (one event may change many
+  /// lanes); laneTransitionsCommitted() counts the per-lane bit flips.
+  [[nodiscard]] std::uint64_t eventsProcessed() const noexcept {
+    return eventCount_;
+  }
+  [[nodiscard]] std::uint64_t laneTransitionsCommitted() const noexcept {
+    return laneTransitions_;
+  }
+
+  /// Per-call committed-event cap for advancePs/settlePs — the
+  /// non-settling/cyclic netlist guard (see TimedSimulator::setEventBudget).
+  void setEventBudget(std::uint64_t maxEventsPerCall) noexcept {
+    budget_ = maxEventsPerCall;
+  }
+  [[nodiscard]] std::uint64_t eventBudget() const noexcept { return budget_; }
+
+  /// Resets every lane to the settled all-inputs-low state at time 0 with
+  /// no events. A cyclic netlist instead powers up all-zero with the
+  /// disagreeing gates scheduled to react, as in the scalar engine.
+  void reset();
+
+  /// All current net value words, indexed by NetId.
+  [[nodiscard]] const std::vector<std::uint64_t>& netWords() const noexcept {
+    return values_;
+  }
+
+  [[nodiscard]] const std::shared_ptr<const netlist::CompiledNetlist>&
+  compiled() const noexcept {
+    return compiled_;
+  }
+
+ private:
+  /// Dense per-gate record: input/output net indices, quantized delay and
+  /// gate kind, packed into 32 bytes so one reader evaluation touches one
+  /// cache line (plus the shared values_ words it gathers).
+  struct GateRec {
+    std::array<std::uint32_t, 3> in{};
+    std::uint32_t out = 0;
+    std::uint32_t delayPs = 0;
+    std::uint32_t kind = 0;  ///< netlist::GateKind
+    std::uint32_t pad0_ = 0;
+    std::uint32_t pad1_ = 0;
+  };
+  static constexpr TimePs kMaxDelayPs = TimePs{1} << 20;
+  static constexpr std::uint64_t kDefaultEventBudget = std::uint64_t{1} << 22;
+
+  /// One scheduled net change carrying the full 64-lane word; the
+  /// timestamp is implied by the wheel slot.
+  struct SlotEvent {
+    std::uint32_t net;
+    std::uint64_t word;
+  };
+  struct Slot {
+    std::vector<SlotEvent> data;
+    std::uint32_t len = 0;
+  };
+
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((always_inline))
+#endif
+  inline void
+  scheduleReaders(std::uint32_t net, TimePs atTime);
+#if defined(__GNUC__) || defined(__clang__)
+  __attribute__((always_inline))
+#endif
+  inline void
+  drainSlot(TimePs t);
+  void runUntil(TimePs horizon);
+  [[noreturn]] void throwBudgetExceeded() const;
+
+  std::shared_ptr<const netlist::CompiledNetlist> compiled_;
+  std::vector<GateRec> gates_;
+  std::vector<std::uint64_t> lastSched_;  ///< per gate: last scheduled word
+  std::span<const std::uint32_t> fanoutOffset_;  // shared CSR (compiled_)
+  std::span<const std::uint32_t> readers_;
+  std::span<const std::uint32_t> inputNets_;
+  std::vector<std::uint64_t> values_;  // indexed by NetId
+  std::vector<Slot> wheel_;
+  std::uint32_t wheelMask_ = 0;
+  std::uint64_t pending_ = 0;
+  TimePs now_ = 0;
+  TimePs cursor_ = 0;
+  std::uint64_t eventCount_ = 0;
+  std::uint64_t laneTransitions_ = 0;
+  std::uint64_t budget_ = kDefaultEventBudget;
+  std::uint64_t failAt_ = ~std::uint64_t{0};
+};
+
+/// Drives a LaneTimedSimulator like 64 clocked register stages sharing one
+/// clock: per step, 64 input vectors (one per lane, lane-major words) are
+/// applied at a common edge and all lanes' outputs latch one period later.
+/// The shared cursor makes the scalar engine's strictly-before-edge latch
+/// semantics hold for every lane.
+class LaneClockedSampler {
+ public:
+  LaneClockedSampler(std::shared_ptr<const netlist::CompiledNetlist> compiled,
+                     const DelayAnnotation& delays, double periodNs);
+  LaneClockedSampler(const netlist::Netlist& nl, const DelayAnnotation& delays,
+                     double periodNs);
+
+  /// Settles every lane on an initial vector (reset cycle; no sampling).
+  void initialize(std::span<const std::uint64_t> inputWords);
+
+  /// Applies the cycle's 64 input vectors, advances one period, and writes
+  /// the latched primary-output words into `out`.
+  void stepInto(std::span<const std::uint64_t> inputWords,
+                std::vector<std::uint64_t>& out);
+
+  [[nodiscard]] double periodNs() const noexcept { return periodNs_; }
+  [[nodiscard]] TimePs periodPs() const noexcept { return periodPs_; }
+  [[nodiscard]] LaneTimedSimulator& simulator() noexcept { return sim_; }
+
+ private:
+  LaneTimedSimulator sim_;
+  double periodNs_;
+  TimePs periodPs_;
+};
+
+}  // namespace oisa::timing

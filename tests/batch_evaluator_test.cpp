@@ -14,6 +14,7 @@
 #include "core/analysis.h"
 #include "experiments/runner.h"
 #include "netlist/batch_evaluator.h"
+#include "netlist/bitops.h"
 #include "netlist/evaluator.h"
 #include "timing/cell_library.h"
 

@@ -1,0 +1,463 @@
+// Differential tests of the 64-lane timed engine (LaneTimedSimulator) and
+// the lane-parallel trace collector against their scalar references. The
+// lane engine must match 64 independent scalar TimedSimulator runs
+// bit-exactly — per-cycle sampled outputs, settle behavior, final net
+// state — on random netlists, all twelve paper design points and the
+// multiplier ISA; the lane TraceCollector must reproduce the sequential
+// collector record for record at any lane count, including deep
+// overclocks that need chunk warm-up cycles. Also covers the shared
+// CompiledNetlist substrate and the bounded-event-budget guard against
+// non-settling/cyclic netlists.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <random>
+#include <stdexcept>
+
+#include "circuits/isa_netlist.h"
+#include "circuits/multiplier_netlist.h"
+#include "circuits/synthesis.h"
+#include "core/isa_config.h"
+#include "core/isa_multiplier.h"
+#include "experiments/trace_collector.h"
+#include "experiments/workload.h"
+#include "netlist/batch_evaluator.h"
+#include "netlist/compiled_netlist.h"
+#include "netlist/gate.h"
+#include "timing/cell_library.h"
+#include "timing/delay_annotation.h"
+#include "timing/event_sim.h"
+#include "timing/lane_sim.h"
+#include "timing/sta.h"
+
+namespace {
+
+using oisa::circuits::SynthesizedDesign;
+using oisa::netlist::CompiledNetlist;
+using oisa::netlist::GateId;
+using oisa::netlist::GateKind;
+using oisa::netlist::Netlist;
+using oisa::netlist::NetId;
+using oisa::timing::CellLibrary;
+using oisa::timing::DelayAnnotation;
+using oisa::timing::LaneTimedSimulator;
+using oisa::timing::TimedSimulator;
+using oisa::timing::TimePs;
+
+constexpr std::size_t kLanes = LaneTimedSimulator::kLanes;
+
+CellLibrary unitLibrary() {
+  CellLibrary lib;
+  for (const GateKind kind : oisa::netlist::allGateKinds()) {
+    lib.cell(kind) = oisa::timing::CellTiming{1.0, 0.0, 1.0};
+  }
+  lib.cell(GateKind::Const0) = oisa::timing::CellTiming{0.0, 0.0, 0.0};
+  lib.cell(GateKind::Const1) = oisa::timing::CellTiming{0.0, 0.0, 0.0};
+  return lib;
+}
+
+/// Random combinational DAG (acyclic by construction).
+Netlist randomNetlist(std::mt19937_64& rng, int inputCount, int gateCount) {
+  Netlist nl("rand");
+  std::vector<NetId> nets;
+  for (int i = 0; i < inputCount; ++i) {
+    nets.push_back(nl.input("i" + std::to_string(i)));
+  }
+  std::vector<GateKind> kinds;
+  for (const GateKind kind : oisa::netlist::allGateKinds()) {
+    if (oisa::netlist::gateArity(kind) > 0) kinds.push_back(kind);
+  }
+  std::vector<NetId> gateOuts;
+  for (int g = 0; g < gateCount; ++g) {
+    const GateKind kind = kinds[rng() % kinds.size()];
+    std::vector<NetId> ins;
+    for (int a = 0; a < oisa::netlist::gateArity(kind); ++a) {
+      ins.push_back(nets[rng() % nets.size()]);
+    }
+    const NetId out = nl.gate(kind, ins);
+    nets.push_back(out);
+    gateOuts.push_back(out);
+  }
+  for (int o = 0; o < 8; ++o) {
+    nl.output("o" + std::to_string(o), gateOuts[rng() % gateOuts.size()]);
+  }
+  nl.validate();
+  return nl;
+}
+
+/// Drives one LaneTimedSimulator and 64 scalar TimedSimulators (sharing
+/// the lane engine's compile) through `cycles` clocked cycles of random
+/// stimulus and asserts exact per-lane agreement: every sampled output
+/// every cycle, the final settle, and every net word.
+void expectLaneMatchesScalars(const Netlist& nl, const DelayAnnotation& delays,
+                              TimePs periodPs, int cycles,
+                              std::uint64_t stimulusSeed) {
+  const auto compiled = CompiledNetlist::compile(nl);
+  LaneTimedSimulator lane(compiled, delays);
+  std::vector<TimedSimulator> scalars;
+  scalars.reserve(kLanes);
+  for (std::size_t L = 0; L < kLanes; ++L) {
+    scalars.emplace_back(compiled, delays);
+  }
+
+  std::mt19937_64 rng(stimulusSeed);
+  const std::size_t inputs = nl.primaryInputs().size();
+  const std::size_t outputs = nl.primaryOutputs().size();
+  std::vector<std::uint64_t> inWords(inputs);
+  std::vector<std::uint8_t> scalarIn(inputs);
+  std::vector<std::uint64_t> laneOut;
+  std::vector<std::uint8_t> scalarOut;
+
+  const auto applyAll = [&] {
+    for (auto& w : inWords) w = rng();
+    lane.applyInputs(inWords);
+    for (std::size_t L = 0; L < kLanes; ++L) {
+      for (std::size_t i = 0; i < inputs; ++i) {
+        scalarIn[i] = static_cast<std::uint8_t>((inWords[i] >> L) & 1u);
+      }
+      scalars[L].applyInputs(scalarIn);
+    }
+  };
+
+  // Settled reset vector, then overclocked cycles.
+  applyAll();
+  (void)lane.settlePs();
+  for (auto& s : scalars) (void)s.settlePs();
+
+  for (int t = 0; t < cycles; ++t) {
+    applyAll();
+    lane.advancePs(periodPs);
+    lane.sampleOutputsInto(laneOut);
+    for (std::size_t L = 0; L < kLanes; ++L) {
+      scalars[L].advancePs(periodPs);
+      scalars[L].sampleOutputsInto(scalarOut);
+      for (std::size_t o = 0; o < outputs; ++o) {
+        ASSERT_EQ((laneOut[o] >> L) & 1u,
+                  static_cast<std::uint64_t>(scalarOut[o]))
+            << "cycle " << t << " lane " << L << " output " << o;
+      }
+    }
+  }
+
+  // Full settle must agree lane for lane too (quiescent state check).
+  (void)lane.settlePs();
+  for (std::size_t L = 0; L < kLanes; ++L) {
+    (void)scalars[L].settlePs();
+    for (std::uint32_t n = 0; n < nl.netCount(); ++n) {
+      ASSERT_EQ((lane.netWord(NetId{n}) >> L) & 1u,
+                static_cast<std::uint64_t>(scalars[L].netValue(NetId{n})))
+          << "net " << n << " lane " << L;
+    }
+  }
+}
+
+TEST(LaneSimulatorTest, ExactAgreementOnRandomNetlists) {
+  std::mt19937_64 rng(404);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Netlist nl = randomNetlist(rng, 12, 80);
+    DelayAnnotation delays(nl, CellLibrary::generic65());
+    // Off-grid double delays exercise the shared floor quantization.
+    delays.applyVariation(rng, 0.35);
+    const double critical = criticalDelayNs(nl, delays);
+    // Savage overclock to comfortable slack.
+    for (const double frac : {0.3, 0.7, 1.5}) {
+      const TimePs period = std::max<TimePs>(
+          1, oisa::timing::quantizeSpanPs(critical * frac));
+      expectLaneMatchesScalars(nl, delays, period, 30,
+                               5000 + static_cast<std::uint64_t>(trial));
+    }
+  }
+}
+
+TEST(LaneSimulatorTest, ExactAgreementOnAllPaperDesigns) {
+  oisa::circuits::SynthesisOptions options;
+  options.relaxSlack = true;  // exercise relaxation-mutated delays
+  const auto designs = oisa::circuits::synthesizePaperDesigns(
+      CellLibrary::generic65(), options);
+  ASSERT_EQ(designs.size(), 12u);
+  for (const double cpr : {5.0, 15.0}) {
+    const TimePs period =
+        oisa::timing::quantizeSpanPs(0.3 * (1.0 - cpr / 100.0));
+    for (const auto& design : designs) {
+      SCOPED_TRACE(design.config.name() + " @ " + std::to_string(cpr));
+      expectLaneMatchesScalars(design.netlist, design.delays, period, 15, 7);
+    }
+  }
+}
+
+TEST(LaneSimulatorTest, ExactAgreementOnMultiplierIsa) {
+  // The multiplier ISA datapath: 8x8 array multiplier whose row adders are
+  // 16-bit speculative ISAs — a different port convention and much deeper
+  // logic than the adder designs.
+  const auto cfg = oisa::core::MultiplierConfig::make(8, 8, 2, 1, 4);
+  const Netlist nl = oisa::circuits::buildMultiplierNetlist(cfg);
+  const DelayAnnotation delays(nl, CellLibrary::generic65());
+  const double critical = criticalDelayNs(nl, delays);
+  for (const double frac : {0.5, 0.85}) {
+    const TimePs period =
+        std::max<TimePs>(1, oisa::timing::quantizeSpanPs(critical * frac));
+    expectLaneMatchesScalars(nl, delays, period, 20, 11);
+  }
+}
+
+TEST(LaneSimulatorTest, ResetReplaysIdentically) {
+  const auto cfg = oisa::core::makeIsa(8, 2, 1, 4);
+  const Netlist nl = oisa::circuits::buildIsaNetlist(cfg);
+  const DelayAnnotation delays(nl, CellLibrary::generic65());
+  LaneTimedSimulator sim(nl, delays);
+  const std::size_t inputs = nl.primaryInputs().size();
+
+  auto runOnce = [&] {
+    std::vector<std::uint64_t> trace;
+    std::vector<std::uint64_t> in(inputs);
+    std::vector<std::uint64_t> out;
+    std::mt19937_64 rng(99);
+    for (int t = 0; t < 25; ++t) {
+      for (auto& w : in) w = rng();
+      sim.applyInputs(in);
+      sim.advancePs(240);
+      sim.sampleOutputsInto(out);
+      trace.insert(trace.end(), out.begin(), out.end());
+    }
+    return trace;
+  };
+  const auto first = runOnce();
+  sim.reset();
+  EXPECT_EQ(sim.nowPs(), 0);
+  EXPECT_EQ(sim.eventsProcessed(), 0u);
+  EXPECT_EQ(sim.laneTransitionsCommitted(), 0u);
+  EXPECT_EQ(runOnce(), first);
+}
+
+// ---------------------------------------------------------------------------
+// Lane trace collector vs the sequential reference.
+// ---------------------------------------------------------------------------
+
+void expectTracesEqual(const oisa::predict::Trace& lane,
+                       const oisa::predict::Trace& scalar) {
+  ASSERT_EQ(lane.size(), scalar.size());
+  for (std::size_t t = 0; t < lane.size(); ++t) {
+    SCOPED_TRACE("record " + std::to_string(t));
+    ASSERT_EQ(lane[t].a, scalar[t].a);
+    ASSERT_EQ(lane[t].b, scalar[t].b);
+    ASSERT_EQ(lane[t].carryIn, scalar[t].carryIn);
+    ASSERT_EQ(lane[t].diamond, scalar[t].diamond);
+    ASSERT_EQ(lane[t].diamondCout, scalar[t].diamondCout);
+    ASSERT_EQ(lane[t].gold, scalar[t].gold);
+    ASSERT_EQ(lane[t].goldCout, scalar[t].goldCout);
+    ASSERT_EQ(lane[t].silver, scalar[t].silver);
+    ASSERT_EQ(lane[t].silverCout, scalar[t].silverCout);
+  }
+}
+
+SynthesizedDesign testDesign(int block, int spec, int corr, int red) {
+  oisa::circuits::SynthesisOptions options;
+  options.relaxSlack = true;
+  return oisa::circuits::synthesize(
+      oisa::core::makeIsa(block, spec, corr, red),
+      CellLibrary::generic65(), options);
+}
+
+TEST(LaneTraceCollectorTest, MatchesScalarReferenceAcrossCprAndWorkloads) {
+  const auto design = testDesign(8, 2, 1, 4);
+  for (const double cpr : {5.0, 15.0}) {
+    const double period = oisa::experiments::overclockedPeriodNs(0.3, cpr);
+    for (const char* kind : {"uniform", "random-walk"}) {
+      SCOPED_TRACE(std::string(kind) + " @ " + std::to_string(cpr));
+      // Non-multiple-of-64 cycle count: uneven chunks + tail lanes.
+      for (const std::uint64_t cycles : {std::uint64_t{391},
+                                         std::uint64_t{64},
+                                         std::uint64_t{5}}) {
+        auto scalarWl = oisa::experiments::makeWorkload(kind, 32, 77);
+        auto laneWl = oisa::experiments::makeWorkload(kind, 32, 77);
+        const auto scalar = oisa::experiments::collectTraceScalar(
+            design, period, *scalarWl, cycles);
+        const auto lane =
+            oisa::experiments::collectTrace(design, period, *laneWl, cycles);
+        expectTracesEqual(lane, scalar);
+      }
+    }
+  }
+}
+
+TEST(LaneTraceCollectorTest, MatchesScalarOnDeepOverclockWithWarmUp) {
+  // Period far below half the critical path: chunk replay needs real
+  // warm-up cycles for bit-exactness (warmUpCycles() >= 1).
+  const auto design = testDesign(8, 0, 0, 4);
+  const double period = design.criticalDelayNs * 0.35;
+  oisa::experiments::TraceCollector collector(design, period);
+  ASSERT_GE(collector.warmUpCycles(), 1);
+
+  auto scalarWl = oisa::experiments::makeWorkload("uniform", 32, 13);
+  auto laneWl = oisa::experiments::makeWorkload("uniform", 32, 13);
+  const auto scalar = oisa::experiments::collectTraceScalar(
+      design, period, *scalarWl, 500);
+  const auto lane = collector.collect(*laneWl, 500);
+  expectTracesEqual(lane, scalar);
+}
+
+TEST(LaneTraceCollectorTest, BitIdenticalAtAnyLaneCount) {
+  const auto design = testDesign(16, 2, 0, 4);
+  const double period = oisa::experiments::overclockedPeriodNs(0.3, 15.0);
+  auto collectAt = [&](std::size_t lanes) {
+    oisa::experiments::TraceCollector collector(design, period, lanes);
+    auto wl = oisa::experiments::makeWorkload("uniform", 32, 5);
+    return collector.collect(*wl, 300);
+  };
+  const auto one = collectAt(1);  // scalar path
+  expectTracesEqual(collectAt(7), one);
+  expectTracesEqual(collectAt(64), one);
+}
+
+TEST(LaneTraceCollectorTest, CollectorReuseIsDeterministic) {
+  // One collector instance across repeated collects (the runner's usage):
+  // reset() must restore pristine state.
+  const auto design = testDesign(8, 2, 1, 4);
+  oisa::experiments::TraceCollector collector(
+      design, oisa::experiments::overclockedPeriodNs(0.3, 15.0));
+  auto first = [&] {
+    auto wl = oisa::experiments::makeWorkload("uniform", 32, 21);
+    return collector.collect(*wl, 200);
+  }();
+  auto second = [&] {
+    auto wl = oisa::experiments::makeWorkload("uniform", 32, 21);
+    return collector.collect(*wl, 200);
+  }();
+  expectTracesEqual(second, first);
+}
+
+TEST(LaneTraceCollectorTest, PackedEmissionMatchesPackTrace) {
+  const auto design = testDesign(8, 2, 1, 4);
+  const double period = oisa::experiments::overclockedPeriodNs(0.3, 15.0);
+  oisa::experiments::TraceCollector collector(design, period);
+  const oisa::predict::FeatureExtractor extractor(32);
+  auto wl = oisa::experiments::makeWorkload("uniform", 32, 3);
+  const auto collected = collector.collectPacked(*wl, 130, extractor);
+  const auto reference = extractor.packTrace(collected.trace);
+  EXPECT_EQ(collected.packed.rowCount, reference.rowCount);
+  EXPECT_EQ(collected.packed.shared, reference.shared);
+  EXPECT_EQ(collected.packed.goldPrev, reference.goldPrev);
+  EXPECT_EQ(collected.packed.goldCur, reference.goldCur);
+  EXPECT_EQ(collected.packed.labels, reference.labels);
+}
+
+// ---------------------------------------------------------------------------
+// Shared compiled substrate.
+// ---------------------------------------------------------------------------
+
+TEST(CompiledNetlistTest, OneCompileServesAllEngines) {
+  const auto cfg = oisa::core::makeIsa(8, 2, 1, 4);
+  const Netlist nl = oisa::circuits::buildIsaNetlist(cfg);
+  const DelayAnnotation delays(nl, CellLibrary::generic65());
+  const auto compiled = CompiledNetlist::compile(nl);
+  ASSERT_TRUE(compiled->acyclic());
+
+  // Functional engine from the shared compile == private compile.
+  const oisa::netlist::BatchEvaluator shared(compiled);
+  const oisa::netlist::BatchEvaluator privat(nl);
+  std::mt19937_64 rng(8);
+  std::vector<std::uint64_t> in(nl.primaryInputs().size());
+  for (auto& w : in) w = rng();
+  EXPECT_EQ(shared.evaluateOutputs(in), privat.evaluateOutputs(in));
+
+  // Timed engines from the shared compile agree with Netlist-constructed
+  // ones (spot check one overclocked cycle).
+  TimedSimulator fromCompile(compiled, delays);
+  TimedSimulator fromNetlist(nl, delays);
+  std::vector<std::uint8_t> bits(nl.primaryInputs().size());
+  for (auto& b : bits) b = static_cast<std::uint8_t>(rng() & 1);
+  fromCompile.applyInputs(bits);
+  fromNetlist.applyInputs(bits);
+  fromCompile.advancePs(255);
+  fromNetlist.advancePs(255);
+  EXPECT_EQ(fromCompile.sampleOutputs(), fromNetlist.sampleOutputs());
+  EXPECT_EQ(fromCompile.eventsProcessed(), fromNetlist.eventsProcessed());
+}
+
+// ---------------------------------------------------------------------------
+// Non-settling / cyclic netlist guard.
+// ---------------------------------------------------------------------------
+
+/// NAND-gated ring oscillator: en=0 holds the loop stable, en=1 makes it
+/// oscillate forever. Built with the rewiring primitive (the builder API
+/// alone cannot create cycles).
+Netlist ringOscillator() {
+  Netlist nl("osc");
+  const NetId en = nl.input("en");
+  const NetId n1 = nl.gate2(GateKind::Nand2, en, en);  // pin 1 rewired below
+  const NetId n2 = nl.gate1(GateKind::Buf, n1);
+  const NetId n3 = nl.gate1(GateKind::Buf, n2);
+  nl.output("y", n3);
+  nl.replaceGateInput(GateId{0}, 1, n3);  // close the loop
+  return nl;
+}
+
+TEST(EventBudgetTest, CyclicNetlistIsDetectedNotLoopedOn) {
+  const Netlist nl = ringOscillator();
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+  const auto compiled = CompiledNetlist::compile(nl);
+  EXPECT_FALSE(compiled->acyclic());
+  // Functional evaluation requires an order and must refuse.
+  EXPECT_THROW(oisa::netlist::BatchEvaluator{compiled}, std::runtime_error);
+
+  const DelayAnnotation delays(nl, unitLibrary());
+  TimedSimulator sim(compiled, delays);
+  sim.setEventBudget(20000);
+  // Stable configuration settles fine — the guard must not false-positive
+  // — and converges to the *logic-consistent* quiescent state, not the
+  // raw all-zero power-up values: with en=0, NAND(0, x) = 1 must
+  // propagate around the loop to the output.
+  sim.applyInputs(std::vector<std::uint8_t>{0});
+  EXPECT_NO_THROW((void)sim.settlePs());
+  EXPECT_EQ(sim.sampleOutputs(), std::vector<std::uint8_t>{1});
+  // Enabled oscillator: settle must throw the diagnostic, not hang.
+  sim.applyInputs(std::vector<std::uint8_t>{1});
+  EXPECT_THROW((void)sim.settlePs(), std::runtime_error);
+  // Bounded advance is guarded too, and reset() recovers the simulator.
+  sim.reset();
+  sim.applyInputs(std::vector<std::uint8_t>{1});
+  EXPECT_THROW(sim.advancePs(TimePs{1} << 40), std::runtime_error);
+  sim.reset();
+  sim.applyInputs(std::vector<std::uint8_t>{0});
+  EXPECT_NO_THROW((void)sim.settlePs());
+}
+
+TEST(EventBudgetTest, LaneEngineGuardsCyclicNetlistsToo) {
+  const Netlist nl = ringOscillator();
+  const DelayAnnotation delays(nl, unitLibrary());
+  LaneTimedSimulator sim(nl, delays);
+  sim.setEventBudget(20000);
+  sim.applyInputs(std::vector<std::uint64_t>{0});
+  EXPECT_NO_THROW((void)sim.settlePs());
+  EXPECT_EQ(sim.sampleOutputs(), std::vector<std::uint64_t>{~std::uint64_t{0}});
+  // Oscillate in a single lane: the shared-word engine must still detect.
+  sim.applyInputs(std::vector<std::uint64_t>{std::uint64_t{1} << 17});
+  EXPECT_THROW((void)sim.settlePs(), std::runtime_error);
+  sim.reset();
+  sim.applyInputs(std::vector<std::uint64_t>{0});
+  EXPECT_NO_THROW((void)sim.settlePs());
+}
+
+TEST(EventBudgetTest, BudgetIsPerCallNotCumulative) {
+  // A legitimate long run must never trip the guard: total committed
+  // events exceed the per-call budget many times over, but each advance
+  // stays far below it.
+  const auto cfg = oisa::core::makeIsa(8, 2, 1, 4);
+  const Netlist nl = oisa::circuits::buildIsaNetlist(cfg);
+  const DelayAnnotation delays(nl, CellLibrary::generic65());
+  TimedSimulator sim(nl, delays);
+  sim.setEventBudget(5000);  // ~10 cycles' worth of events
+  std::mt19937_64 rng(2);
+  for (int t = 0; t < 200; ++t) {
+    sim.applyInputs(oisa::circuits::packOperands(rng(), rng(), false, 32));
+    EXPECT_NO_THROW(sim.advancePs(255));
+  }
+  EXPECT_GT(sim.eventsProcessed(), 5000u);
+  // The natural "unlimited" spelling must not wrap the per-call cap into
+  // an instant spurious throw (saturating arithmetic).
+  sim.setEventBudget(~std::uint64_t{0});
+  sim.applyInputs(oisa::circuits::packOperands(rng(), rng(), false, 32));
+  EXPECT_NO_THROW((void)sim.settlePs());
+}
+
+}  // namespace

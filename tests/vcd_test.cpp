@@ -1,0 +1,109 @@
+// Golden-output tests for the VCD waveform writer: exact header
+// (timescale, scope, var declarations), event ordering (grouped,
+// strictly-increasing timestamps) and change-only recording, driven by a
+// real TimedSimulator run over an annotated netlist.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/gate.h"
+#include "netlist/netlist.h"
+#include "timing/cell_library.h"
+#include "timing/delay_annotation.h"
+#include "timing/event_sim.h"
+#include "timing/vcd.h"
+
+namespace {
+
+using oisa::netlist::GateKind;
+using oisa::netlist::Netlist;
+using oisa::netlist::NetId;
+using oisa::timing::CellLibrary;
+using oisa::timing::DelayAnnotation;
+using oisa::timing::TimedSimulator;
+using oisa::timing::VcdWriter;
+
+CellLibrary unitLibrary() {
+  CellLibrary lib;
+  for (const GateKind kind : oisa::netlist::allGateKinds()) {
+    lib.cell(kind) = oisa::timing::CellTiming{1.0, 0.0, 1.0};
+  }
+  return lib;
+}
+
+/// a -> INV -> INV -> y at 1 ns per stage: y follows a after exactly 2 ns.
+Netlist inverterPair() {
+  Netlist nl("vcdtop");
+  NetId n = nl.input("a");
+  n = nl.gate1(GateKind::Inv, n);
+  n = nl.gate1(GateKind::Inv, n, "y");
+  nl.output("y", n);
+  return nl;
+}
+
+TEST(VcdWriterTest, GoldenOutputOfAnAnnotatedRun) {
+  const Netlist nl = inverterPair();
+  const DelayAnnotation delays(nl, unitLibrary());
+  TimedSimulator sim(nl, delays);
+
+  VcdWriter vcd = VcdWriter::forPorts(nl);
+  sim.setChangeObserver([&](double timeNs, NetId net, bool value) {
+    vcd.record(timeNs, net, value);
+  });
+
+  // Initial snapshot at t=0, then two input edges: a rises at 0 (y follows
+  // at 2 ns), a falls at 3 ns (y follows at 5 ns).
+  vcd.sample(0.0, sim.netValues());
+  sim.applyInputs(std::vector<std::uint8_t>{1});
+  (void)sim.settlePs();
+  sim.advancePs(1000);  // park the clock at 3 ns
+  sim.applyInputs(std::vector<std::uint8_t>{0});
+  (void)sim.settlePs();
+
+  std::ostringstream os;
+  vcd.write(os);
+  const std::string expected =
+      "$date oisa $end\n"
+      "$version oisa timed simulator $end\n"
+      "$timescale 1ps $end\n"
+      "$scope module vcdtop $end\n"
+      "$var wire 1 ! a $end\n"
+      "$var wire 1 \" y $end\n"
+      "$upscope $end\n"
+      "$enddefinitions $end\n"
+      "#0\n"
+      "0!\n"
+      "0\"\n"
+      "1!\n"
+      "#2000\n"
+      "1\"\n"
+      "#3000\n"
+      "0!\n"
+      "#5000\n"
+      "0\"\n";
+  EXPECT_EQ(os.str(), expected);
+  EXPECT_EQ(vcd.changeCount(), 6u);
+}
+
+TEST(VcdWriterTest, SampleKeepsOnlyChanges) {
+  const Netlist nl = inverterPair();
+  const DelayAnnotation delays(nl, unitLibrary());
+  TimedSimulator sim(nl, delays);
+  VcdWriter vcd = VcdWriter::forPorts(nl);
+
+  vcd.sample(0.0, sim.netValues());
+  const std::size_t initial = vcd.changeCount();
+  EXPECT_EQ(initial, 2u);  // a and y recorded once
+  vcd.sample(1.0, sim.netValues());  // nothing changed: no new records
+  EXPECT_EQ(vcd.changeCount(), initial);
+}
+
+TEST(VcdWriterTest, RejectsInvalidObservedNets) {
+  const Netlist nl = inverterPair();
+  EXPECT_THROW(VcdWriter(nl, {NetId{999}}), std::invalid_argument);
+  VcdWriter vcd = VcdWriter::forPorts(nl);
+  EXPECT_THROW(vcd.sample(0.0, std::vector<std::uint8_t>(1, 0)),
+               std::invalid_argument);
+}
+
+}  // namespace
