@@ -1,6 +1,7 @@
 // Shared helpers for the figure-regeneration benches.
 #pragma once
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -63,6 +64,23 @@ class BenchJson {
  private:
   std::vector<std::pair<std::string, std::string>> fields_;
 };
+
+/// Shared epilogue of every speedup microbench (the BENCH_*.json
+/// writers): records the headline `speedup` field, writes the `--json`
+/// artifact when requested, and enforces the `--min-speedup` CI gate.
+/// Returns the process exit code for main().
+inline int finishSpeedupBench(BenchJson& json,
+                              const experiments::ArgParser& args,
+                              double speedup, double minSpeedup) {
+  json.add("speedup", speedup);
+  json.writeFile(args.getString("json", ""));
+  if (minSpeedup > 0.0 && speedup < minSpeedup) {
+    std::cerr << "FAIL: speedup " << speedup << "x below required "
+              << minSpeedup << "x\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}
 
 /// Paper CPR points (percent of the 0.3 ns sign-off period).
 inline const std::vector<double>& paperCprs() {

@@ -129,14 +129,6 @@ int main(int argc, char** argv) {
       .add("gates", static_cast<std::uint64_t>(nl.gateCount()))
       .add("patterns", batches * 64)
       .add("scalar_patterns_per_sec", scalarRate)
-      .add("batch_patterns_per_sec", batchRate)
-      .add("speedup", speedup);
-  json.writeFile(args.getString("json", ""));
-
-  if (minSpeedup > 0.0 && speedup < minSpeedup) {
-    std::cerr << "FAIL: speedup " << speedup << "x below required "
-              << minSpeedup << "x\n";
-    return EXIT_FAILURE;
-  }
-  return EXIT_SUCCESS;
+      .add("batch_patterns_per_sec", batchRate);
+  return oisa::bench::finishSpeedupBench(json, args, speedup, minSpeedup);
 }

@@ -360,14 +360,6 @@ int main(int argc, char** argv) {
       .add("packed_train_sec", packedTrainSec)
       .add("packed_predict_sec", packedPredictSec)
       .add("train_speedup", trainSpeedup)
-      .add("predict_speedup", predictSpeedup)
-      .add("speedup", speedup);
-  json.writeFile(args.getString("json", ""));
-
-  if (minSpeedup > 0.0 && speedup < minSpeedup) {
-    std::cerr << "FAIL: speedup " << speedup << "x below required "
-              << minSpeedup << "x\n";
-    return EXIT_FAILURE;
-  }
-  return EXIT_SUCCESS;
+      .add("predict_speedup", predictSpeedup);
+  return bench::finishSpeedupBench(json, args, speedup, minSpeedup);
 }

@@ -127,14 +127,6 @@ int main(int argc, char** argv) {
       .add("warmup_cycles",
            static_cast<std::uint64_t>(collector.warmUpCycles()))
       .add("scalar_cycles_per_sec", scalarRate)
-      .add("lane_cycles_per_sec", laneRate)
-      .add("speedup", speedup);
-  json.writeFile(args.getString("json", ""));
-
-  if (minSpeedup > 0.0 && speedup < minSpeedup) {
-    std::cerr << "FAIL: speedup " << speedup << "x below required "
-              << minSpeedup << "x\n";
-    return EXIT_FAILURE;
-  }
-  return EXIT_SUCCESS;
+      .add("lane_cycles_per_sec", laneRate);
+  return bench::finishSpeedupBench(json, args, speedup, minSpeedup);
 }

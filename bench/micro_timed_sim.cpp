@@ -147,14 +147,6 @@ int main(int argc, char** argv) {
       .add("cpr_percent", cpr)
       .add("heap_cycles_per_sec", heapRate)
       .add("wheel_cycles_per_sec", wheelRate)
-      .add("speedup", speedup)
       .add("events_per_cycle", eventsPerCycle);
-  json.writeFile(args.getString("json", ""));
-
-  if (minSpeedup > 0.0 && speedup < minSpeedup) {
-    std::cerr << "FAIL: speedup " << speedup << "x below required "
-              << minSpeedup << "x\n";
-    return EXIT_FAILURE;
-  }
-  return EXIT_SUCCESS;
+  return bench::finishSpeedupBench(json, args, speedup, minSpeedup);
 }

@@ -1,0 +1,187 @@
+#include "experiments/fault_scan.h"
+
+#include <algorithm>
+#include <array>
+#include <thread>
+
+#include "core/error_model.h"
+#include "core/isa_adder.h"
+#include "experiments/grid_scheduler.h"
+#include "experiments/trace_collector.h"
+#include "experiments/workload.h"
+#include "fault/coverage.h"
+#include "fault/fault_universe.h"
+#include "fault/ppsfp.h"
+#include "fault/timed_fault.h"
+#include "netlist/bitops.h"
+#include "netlist/compiled_netlist.h"
+#include "timing/lane_sim.h"
+
+namespace oisa::experiments {
+
+namespace {
+
+constexpr std::size_t kLanes = fault::PpsfpEngine::kLanes;
+
+/// Runs `timedCycles` overclocked cycles (64 independent lanes per wheel
+/// sweep) with an optional stem defect clamped in, and returns the
+/// relative-E_joint RMS of the sampled outputs against the exact adder.
+double measureTimedRelJoint(
+    const std::shared_ptr<const netlist::CompiledNetlist>& compiled,
+    const circuits::SynthesizedDesign& design, double periodNs,
+    const fault::Fault* defect, std::uint64_t timedCycles,
+    std::uint64_t seed, const RunOptions& run) {
+  const int width = design.config.width;
+  const core::IsaAdder behavioral(design.config);
+  timing::LaneClockedSampler sampler(compiled, design.delays, periodNs);
+  if (defect != nullptr) {
+    fault::injectStuckAt(sampler.simulator(), *defect);
+  }
+  const auto workload = makeWorkload(run.workload, width, seed);
+
+  const std::size_t inputCount = compiled->inputNets().size();
+  std::vector<std::uint64_t> inWords(inputCount, 0);
+  std::vector<std::uint64_t> outWords;
+  std::array<Stimulus, kLanes> stims{};
+  std::array<std::uint64_t, kLanes> sM{};
+
+  // Reset vector: settle every lane on its first stimulus (not measured),
+  // mirroring the trace collectors' initialize step.
+  for (auto& s : stims) s = workload->next();
+  packStimulusBlock(stims, width, inWords);
+  sampler.initialize(inWords);
+
+  core::ErrorCombination combo;
+  std::uint64_t remaining = timedCycles;
+  while (remaining > 0) {
+    const auto lanes = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kLanes, remaining));
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      stims[lane] = workload->next();
+    }
+    packStimulusBlock(std::span(stims.data(), lanes), width, inWords);
+    sampler.stepInto(inWords, outWords);
+
+    for (int i = 0; i < width; ++i) {
+      sM[static_cast<std::size_t>(i)] = outWords[static_cast<std::size_t>(i)];
+    }
+    std::fill(sM.begin() + width, sM.end(), 0);
+    const std::uint64_t coutWord = outWords[static_cast<std::size_t>(width)];
+    netlist::transpose64(sM);
+
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const Stimulus& s = stims[lane];
+      std::uint64_t silver = sM[lane];
+      if (width < 64 && ((coutWord >> lane) & 1u) != 0) {
+        silver |= std::uint64_t{1} << width;
+      }
+      combo.add(core::OutputTriple{
+          behavioral.exactAdd(s.a, s.b, s.carryIn).value(width),
+          behavioral.add(s.a, s.b, s.carryIn).value(width), silver});
+    }
+    remaining -= lanes;
+  }
+  return combo.relJoint().rms();
+}
+
+}  // namespace
+
+std::vector<FaultScanRow> runFaultErrorScan(
+    const std::vector<circuits::SynthesizedDesign>& designs,
+    const FaultScanOptions& options) {
+  std::vector<FaultScanRow> rows(designs.size());
+  unsigned workers = options.run.threads == 0
+                         ? std::thread::hardware_concurrency()
+                         : options.run.threads;
+  if (workers == 0) workers = 1;
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, std::max<std::size_t>(designs.size(), 1)));
+  GridScheduler pool(workers);
+  pool.run(designs.size(), [&](std::size_t d) {
+    const circuits::SynthesizedDesign& design = designs[d];
+    const int width = design.config.width;
+    const auto compiled = netlist::CompiledNetlist::compile(design.netlist);
+    // packStimulusBlock assumes the adder port convention (a0..aN-1,
+    // b0..bN-1, cin); reject anything else (e.g. a multiplier ISA) up
+    // front rather than writing past the input-word span.
+    if (compiled->inputNets().size() !=
+        static_cast<std::size_t>(2 * width + 1)) {
+      throw std::invalid_argument(
+          "runFaultErrorScan: design '" + design.config.name() +
+          "' does not follow the adder port convention (expected " +
+          std::to_string(2 * width + 1) + " primary inputs, got " +
+          std::to_string(compiled->inputNets().size()) + ")");
+    }
+
+    FaultScanRow row;
+    row.design = design.config.name();
+    row.cprPercent = options.cprPercent;
+    row.periodNs =
+        overclockedPeriodNs(options.run.signOffPeriodNs, options.cprPercent);
+
+    // Phase 1: PPSFP coverage under the experiment workload. Every design
+    // sees the same stimulus stream (shared seed), as in the paper's
+    // common random sample.
+    fault::FaultUniverse universe(compiled);
+    fault::PpsfpEngine engine(compiled);
+    fault::CoverageOptions coverage;
+    coverage.patterns = options.run.cycles;
+    const auto workload =
+        makeWorkload(options.run.workload, width, options.run.seed);
+    std::array<Stimulus, kLanes> stims{};
+    std::uint64_t remaining = coverage.patterns;
+    const fault::PatternBlockSource source =
+        [&](std::span<std::uint64_t> inputWords) -> std::size_t {
+      if (remaining == 0) return 0;
+      const auto count = static_cast<std::size_t>(
+          std::min<std::uint64_t>(remaining, kLanes));
+      remaining -= count;
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        stims[lane] = workload->next();
+      }
+      packStimulusBlock(std::span(stims.data(), count), width, inputWords);
+      return count;
+    };
+    const fault::CoverageResult cov =
+        fault::runCoverage(universe, engine, coverage, source);
+    row.universeFaults = cov.universeFaults;
+    row.collapsedClasses = cov.collapsedClasses;
+    row.detectedClasses = cov.detectedClasses;
+    row.coveragePercent = cov.coverage() * 100.0;
+    row.patterns = cov.patternsApplied;
+
+    // Phase 2: timed defective runs on a deterministic sample of the
+    // detected stem classes, against a paired healthy baseline (same
+    // workload seed, same period).
+    std::vector<fault::Fault> detectedStems;
+    const auto classes = universe.collapsed();
+    for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+      if (cov.detected[ci] != 0) detectedStems.push_back(classes[ci]);
+    }
+    const std::vector<fault::Fault> sample =
+        fault::selectTimedFaults(detectedStems, options.timedFaults);
+    row.rmsRelJointHealthy = measureTimedRelJoint(
+        compiled, design, row.periodNs, nullptr, options.timedCycles,
+        options.run.seed + 1, options.run);
+    double sum = 0.0;
+    for (const fault::Fault& f : sample) {
+      const double rms = measureTimedRelJoint(
+          compiled, design, row.periodNs, &f, options.timedCycles,
+          options.run.seed + 1, options.run);
+      sum += rms;
+      row.worstRelJointFaulty = std::max(row.worstRelJointFaulty, rms);
+    }
+    row.timedFaultsMeasured = sample.size();
+    // No detected stem faults -> no defective measurement: report a zero
+    // shift rather than 0 - healthy (which would read as a defect
+    // improving the error).
+    if (!sample.empty()) {
+      row.rmsRelJointFaulty = sum / static_cast<double>(sample.size());
+      row.eJointShift = row.rmsRelJointFaulty - row.rmsRelJointHealthy;
+    }
+    rows[d] = std::move(row);
+  });
+  return rows;
+}
+
+}  // namespace oisa::experiments

@@ -190,8 +190,6 @@ std::vector<FunctionalScanRow> runFunctionalErrorScan(
     const std::size_t inputCount = design.netlist.primaryInputs().size();
     std::vector<std::uint64_t> inWords(inputCount, 0);
     std::vector<std::uint64_t> values;
-    std::array<std::uint64_t, kLanes> aM{};
-    std::array<std::uint64_t, kLanes> bM{};
     std::array<std::uint64_t, kLanes> sM{};
     std::array<Stimulus, kLanes> stims{};
 
@@ -208,23 +206,7 @@ std::vector<FunctionalScanRow> runFunctionalErrorScan(
       for (std::size_t lane = 0; lane < lanes; ++lane) {
         stims[lane] = workload->next();
       }
-      // Lane-major packing: after the transpose, aM[i] holds operand bit i
-      // across all lanes, i.e. the 64-lane word of primary input a_i.
-      std::uint64_t cinWord = 0;
-      for (std::size_t lane = 0; lane < kLanes; ++lane) {
-        const Stimulus& s = stims[lane < lanes ? lane : 0];
-        aM[lane] = s.a;
-        bM[lane] = s.b;
-        if (lane < lanes && s.carryIn) cinWord |= std::uint64_t{1} << lane;
-      }
-      netlist::transpose64(aM);
-      netlist::transpose64(bM);
-      for (int i = 0; i < width; ++i) {
-        inWords[static_cast<std::size_t>(i)] = aM[static_cast<std::size_t>(i)];
-        inWords[static_cast<std::size_t>(width + i)] =
-            bM[static_cast<std::size_t>(i)];
-      }
-      inWords[static_cast<std::size_t>(2 * width)] = cinWord;
+      packStimulusBlock(std::span(stims.data(), lanes), width, inWords);
 
       eval.evaluateInto(inWords, values);
       for (int i = 0; i < width; ++i) {

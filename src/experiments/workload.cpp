@@ -1,6 +1,10 @@
 #include "experiments/workload.h"
 
+#include <array>
 #include <stdexcept>
+#include <string>
+
+#include "netlist/bitops.h"
 
 namespace oisa::experiments {
 
@@ -71,6 +75,41 @@ std::unique_ptr<Workload> makeWorkload(const std::string& kind, int width,
     return std::make_unique<SparseToggleWorkload>(width, 0.05, seed);
   }
   throw std::invalid_argument("makeWorkload: unknown kind '" + kind + "'");
+}
+
+void packStimulusBlock(std::span<const Stimulus> stims, int width,
+                       std::span<std::uint64_t> inputWords) {
+  constexpr std::size_t kLanes = 64;
+  if (stims.empty() || stims.size() > kLanes) {
+    throw std::invalid_argument("packStimulusBlock: need 1..64 stimuli");
+  }
+  if (inputWords.size() != static_cast<std::size_t>(2 * width + 1)) {
+    throw std::invalid_argument(
+        "packStimulusBlock: expected " + std::to_string(2 * width + 1) +
+        " input words (adder port convention), got " +
+        std::to_string(inputWords.size()));
+  }
+  std::array<std::uint64_t, kLanes> aM{};
+  std::array<std::uint64_t, kLanes> bM{};
+  std::uint64_t cinWord = 0;
+  for (std::size_t lane = 0; lane < kLanes; ++lane) {
+    const Stimulus& s = stims[lane < stims.size() ? lane : 0];
+    aM[lane] = s.a;
+    bM[lane] = s.b;
+    if (lane < stims.size() && s.carryIn) {
+      cinWord |= std::uint64_t{1} << lane;
+    }
+  }
+  // Lane-major packing: after the transpose, aM[i] holds operand bit i
+  // across all lanes, i.e. the 64-lane word of primary input a_i.
+  netlist::transpose64(aM);
+  netlist::transpose64(bM);
+  for (int i = 0; i < width; ++i) {
+    inputWords[static_cast<std::size_t>(i)] = aM[static_cast<std::size_t>(i)];
+    inputWords[static_cast<std::size_t>(width + i)] =
+        bM[static_cast<std::size_t>(i)];
+  }
+  inputWords[static_cast<std::size_t>(2 * width)] = cinWord;
 }
 
 }  // namespace oisa::experiments

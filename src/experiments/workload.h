@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <random>
+#include <span>
 #include <string>
 
 namespace oisa::experiments {
@@ -79,5 +80,15 @@ class SparseToggleWorkload final : public Workload {
 [[nodiscard]] std::unique_ptr<Workload> makeWorkload(const std::string& kind,
                                                      int width,
                                                      std::uint64_t seed);
+
+/// Packs up to 64 stimuli into lane-major primary-input words for a
+/// generated adder netlist (port convention a0..aN-1, b0..bN-1, cin):
+/// bit L of word i is stimulus L's value of primary input i. Lanes
+/// beyond `stims.size()` replicate stimulus 0 with carry-in low
+/// (don't-care lanes; callers mask them out). `inputWords` must span
+/// exactly 2*width + 1 words. The single owner of the adder port-layout
+/// assumption for lane-major pipelines (functional scan, fault scan).
+void packStimulusBlock(std::span<const Stimulus> stims, int width,
+                       std::span<std::uint64_t> inputWords);
 
 }  // namespace oisa::experiments

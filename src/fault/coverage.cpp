@@ -1,0 +1,59 @@
+#include "fault/coverage.h"
+
+#include <bit>
+#include <random>
+
+namespace oisa::fault {
+
+CoverageResult runCoverage(const FaultUniverse& universe, PpsfpEngine& engine,
+                           const CoverageOptions& options,
+                           const PatternBlockSource& source) {
+  const auto classes = universe.collapsed();
+  CoverageResult result;
+  result.universeFaults = universe.all().size();
+  result.collapsedClasses = classes.size();
+  result.detected.assign(classes.size(), 0);
+  result.firstDetectedAt.assign(classes.size(), ~std::uint64_t{0});
+
+  std::vector<std::uint64_t> inputWords(
+      universe.compiled()->inputNets().size(), 0);
+  while (result.patternsApplied < options.patterns &&
+         result.detectedClasses < result.collapsedClasses) {
+    const std::size_t count = source(inputWords);
+    if (count == 0) break;  // source exhausted
+    engine.loadPatterns(inputWords, count);
+    for (std::size_t ci = 0; ci < classes.size(); ++ci) {
+      if (options.dropDetected && result.detected[ci] != 0) continue;
+      const std::uint64_t lanes = engine.detectLanes(classes[ci]);
+      if (lanes == 0 || result.detected[ci] != 0) continue;
+      result.detected[ci] = 1;
+      ++result.detectedClasses;
+      result.firstDetectedAt[ci] =
+          result.patternsApplied +
+          static_cast<std::uint64_t>(std::countr_zero(lanes));
+    }
+    result.patternsApplied += count;
+  }
+  return result;
+}
+
+CoverageResult runRandomCoverage(const FaultUniverse& universe,
+                                 PpsfpEngine& engine,
+                                 const CoverageOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::uint64_t remaining = options.patterns;
+  const PatternBlockSource source =
+      [&](std::span<std::uint64_t> inputWords) -> std::size_t {
+    if (remaining == 0) return 0;
+    const auto count = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, PpsfpEngine::kLanes));
+    remaining -= count;
+    // One fresh 64-lane word per primary input; lanes beyond `count` are
+    // masked out by the engine.
+    for (std::uint64_t& w : inputWords) w = rng();
+    return count;
+  };
+  return runCoverage(universe, engine, options, source);
+}
+
+}  // namespace oisa::fault

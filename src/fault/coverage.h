@@ -1,0 +1,67 @@
+// oisa_fault: random/workload-pattern fault-coverage campaigns.
+//
+// Drives a PpsfpEngine over a stream of 64-pattern blocks and tracks
+// which collapsed fault classes have been detected. Detected classes are
+// dropped from later blocks by default (classic fault dropping — the
+// bulk of the universe falls in the first few blocks, so dropping turns
+// the campaign cost from classes x blocks into roughly classes +
+// hard-fault tails). The detected set is independent of dropping; only
+// the work saved changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "fault/fault_universe.h"
+#include "fault/ppsfp.h"
+
+namespace oisa::fault {
+
+/// Campaign controls.
+struct CoverageOptions {
+  std::uint64_t patterns = 1 << 14;  ///< stimuli to apply (rounded up to 64)
+  std::uint64_t seed = 1;            ///< RNG seed (random-pattern campaigns)
+  bool dropDetected = true;          ///< classic fault dropping
+};
+
+/// Campaign result over the collapsed universe.
+struct CoverageResult {
+  std::size_t universeFaults = 0;    ///< full universe size
+  std::size_t collapsedClasses = 0;
+  std::size_t detectedClasses = 0;
+  std::uint64_t patternsApplied = 0;
+  /// Per collapsed class: first pattern index whose block detected it
+  /// (~0 when undetected).
+  std::vector<std::uint64_t> firstDetectedAt;
+  /// Per collapsed class: detected flag.
+  std::vector<std::uint8_t> detected;
+
+  [[nodiscard]] double coverage() const noexcept {
+    return collapsedClasses == 0
+               ? 0.0
+               : static_cast<double>(detectedClasses) /
+                     static_cast<double>(collapsedClasses);
+  }
+};
+
+/// Fills `inputWords` (one word per primary input, lane-major) with the
+/// next block of stimuli and returns how many patterns it packed (1..64;
+/// 0 ends the campaign early).
+using PatternBlockSource =
+    std::function<std::size_t(std::span<std::uint64_t> inputWords)>;
+
+/// Runs a campaign over `source` blocks until `options.patterns` stimuli
+/// were applied, every class is detected, or the source runs dry.
+[[nodiscard]] CoverageResult runCoverage(const FaultUniverse& universe,
+                                         PpsfpEngine& engine,
+                                         const CoverageOptions& options,
+                                         const PatternBlockSource& source);
+
+/// Convenience campaign: uniform random primary-input patterns.
+[[nodiscard]] CoverageResult runRandomCoverage(const FaultUniverse& universe,
+                                               PpsfpEngine& engine,
+                                               const CoverageOptions& options);
+
+}  // namespace oisa::fault

@@ -1,0 +1,62 @@
+// oisa_fault: single stuck-at fault model over the compiled netlist.
+//
+// A fault is a permanent defect forcing one signal to a constant. Two
+// flavors exist, matching the classic ISCAS-85 fault-simulation setting:
+//
+//  * stem faults — the whole net is stuck, every reader and any primary
+//    output tap sees the forced value;
+//  * branch faults — one fanout branch of a multi-fanout net is stuck:
+//    only the addressed reader gate sees the forced value, the stem and
+//    the remaining branches stay healthy. A branch is addressed by its
+//    entry in the CompiledNetlist CSR reader array, so a net wired to
+//    several pins of one gate is a single branch whose defect forces all
+//    of those pins together (the merged-pin-mask convention of the CSR).
+//
+// Branch faults are only meaningful on nets with two or more reader
+// entries: a fanout-free connection's branch fault is structurally
+// identical to its stem fault, so the universe never enumerates it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/compiled_netlist.h"
+
+namespace oisa::fault {
+
+/// Stuck-at polarity.
+enum class StuckAt : std::uint8_t { SA0 = 0, SA1 = 1 };
+
+/// The 64-lane word a stuck value forces in every lane.
+[[nodiscard]] constexpr std::uint64_t stuckWord(StuckAt v) noexcept {
+  return v == StuckAt::SA1 ? ~std::uint64_t{0} : 0;
+}
+
+/// One single stuck-at fault.
+struct Fault {
+  /// Reader-array index marking a stem fault (no branch addressed).
+  static constexpr std::uint32_t kStem = 0xffffffff;
+
+  std::uint32_t net = 0;        ///< faulted net (NetId::value)
+  std::uint32_t branch = kStem; ///< CSR reader index for branch faults
+  StuckAt stuck = StuckAt::SA0;
+
+  [[nodiscard]] constexpr bool isStem() const noexcept {
+    return branch == kStem;
+  }
+  friend constexpr bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Human-readable fault description, e.g. "n42/SA1" for a stem fault or
+/// "n42->g7/SA0" for the branch feeding gate 7.
+[[nodiscard]] inline std::string describeFault(
+    const netlist::CompiledNetlist& compiled, const Fault& f) {
+  std::string s = compiled.source().net(netlist::NetId{f.net}).name;
+  if (s.empty()) s = "n" + std::to_string(f.net);
+  if (!f.isStem()) {
+    s += "->g" + std::to_string(compiled.readers()[f.branch] >> 3);
+  }
+  return s + (f.stuck == StuckAt::SA1 ? "/SA1" : "/SA0");
+}
+
+}  // namespace oisa::fault

@@ -1,0 +1,45 @@
+// oisa_netlist: minimal ISCAS-85 `.bench`-format importer.
+//
+// The `.bench` netlist format of the classic ISCAS-85/89 benchmark
+// suites (c17, c432, ... — the circuits every published fault simulator
+// is measured on):
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G22)
+//   G10 = NAND(G1, G3)
+//   G22 = NOT(G10)
+//
+// Supported cells: AND, OR, XOR, NAND, NOR, XNOR, NOT, BUF/BUFF, at any
+// arity >= 1 (>= 1 input; wider-than-3 gates are decomposed into chains
+// of the repo's 2/3-input primitives, inverting kinds as reduce +
+// invert). Statements may appear in any order; definitions are resolved
+// by name. Sequential elements (DFF) and unknown cells are rejected with
+// a diagnostic — the fault engine is combinational.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.h"
+
+namespace oisa::netlist {
+
+/// Parses a `.bench`-format circuit from a stream. Throws
+/// std::runtime_error with a line-numbered diagnostic on malformed
+/// input, undefined or duplicated signals, unsupported cells, or a
+/// combinational cycle.
+[[nodiscard]] Netlist readBench(std::istream& in,
+                                std::string topName = "bench");
+
+/// Parses a `.bench`-format circuit from an in-memory string (embedded
+/// test circuits, generated netlists).
+[[nodiscard]] Netlist readBenchString(std::string_view text,
+                                      std::string topName = "bench");
+
+/// Parses a `.bench` file from disk; the top name defaults to the file
+/// path.
+[[nodiscard]] Netlist readBenchFile(const std::string& path);
+
+}  // namespace oisa::netlist

@@ -61,7 +61,9 @@ void LaneTimedSimulator::reset() {
   const auto zero = compiled_->zeroState();
   values_.resize(zero.size());
   for (std::size_t n = 0; n < zero.size(); ++n) {
-    values_[n] = zero[n] ? ~std::uint64_t{0} : 0;
+    values_[n] =
+        clampWord(static_cast<std::uint32_t>(n),
+                  zero[n] ? ~std::uint64_t{0} : 0);
   }
   for (Slot& slot : wheel_) slot.len = 0;
   pending_ = 0;
@@ -71,10 +73,11 @@ void LaneTimedSimulator::reset() {
   laneTransitions_ = 0;
   for (std::uint32_t gi = 0; gi < gates_.size(); ++gi) {
     const GateRec& rec = gates_[gi];
-    const std::uint64_t out =
+    const std::uint64_t out = clampWord(
+        rec.out,
         netlist::evalGateWord(static_cast<GateKind>(rec.kind),
                               values_[rec.in[0]], values_[rec.in[1]],
-                              values_[rec.in[2]]);
+                              values_[rec.in[2]]));
     lastSched_[gi] = out;
     if (out != values_[rec.out]) [[unlikely]] {
       Slot& slot = wheel_[rec.delayPs & wheelMask_];
@@ -95,8 +98,8 @@ void LaneTimedSimulator::applyInputs(
         "LaneTimedSimulator: wrong input word count");
   }
   for (std::size_t i = 0; i < inputNets_.size(); ++i) {
-    const std::uint64_t w = inputWords[i];
     const std::uint32_t net = inputNets_[i];
+    const std::uint64_t w = clampWord(net, inputWords[i]);
     if (values_[net] != w) {
       laneTransitions_ +=
           static_cast<std::uint64_t>(std::popcount(values_[net] ^ w));
@@ -115,11 +118,14 @@ void LaneTimedSimulator::scheduleReaders(std::uint32_t net, TimePs atTime) {
     // Recompute the full 64-lane output word. Lanes whose inputs did not
     // change recompute the value they already scheduled, so the dedup
     // below (`changed == 0`) drops pure no-ops and a partially-changed
-    // word re-commits quiet lanes' bits harmlessly.
-    const std::uint64_t out =
+    // word re-commits quiet lanes' bits harmlessly. Forced (stuck) lanes
+    // of the output net are clamped before the dedup, so a defective net
+    // never schedules its healthy value.
+    const std::uint64_t out = clampWord(
+        rec.out,
         netlist::evalGateWord(static_cast<GateKind>(rec.kind),
                               values_[rec.in[0]], values_[rec.in[1]],
-                              values_[rec.in[2]]);
+                              values_[rec.in[2]]));
     const std::uint64_t changed = out ^ lastSched_[g];
     if (changed == 0) continue;
     lastSched_[g] = out;
@@ -133,6 +139,40 @@ void LaneTimedSimulator::scheduleReaders(std::uint32_t net, TimePs atTime) {
   }
 }
 
+void LaneTimedSimulator::forceNet(netlist::NetId net, std::uint64_t laneMask,
+                                  std::uint64_t bits) {
+  if (net.value >= values_.size()) {
+    throw std::invalid_argument(
+        "LaneTimedSimulator::forceNet: net index out of range (fault from "
+        "another netlist?)");
+  }
+  if (forceMask_.empty()) {
+    forceMask_.assign(values_.size(), 0);
+    forceBits_.assign(values_.size(), 0);
+  }
+  forceMask_[net.value] |= laneMask;
+  forceBits_[net.value] =
+      (forceBits_[net.value] & ~laneMask) | (bits & laneMask);
+  forced_ = true;
+  // Commit the clamp immediately at the current time, exactly like an
+  // input change: readers of a net whose value flips react after their
+  // own delays.
+  const std::uint64_t w = clampWord(net.value, values_[net.value]);
+  if (values_[net.value] != w) {
+    laneTransitions_ +=
+        static_cast<std::uint64_t>(std::popcount(values_[net.value] ^ w));
+    values_[net.value] = w;
+    scheduleReaders(net.value, now_);
+  }
+}
+
+void LaneTimedSimulator::clearNetForces() {
+  if (!forced_) return;
+  forced_ = false;
+  std::fill(forceMask_.begin(), forceMask_.end(), 0);
+  std::fill(forceBits_.begin(), forceBits_.end(), 0);
+}
+
 void LaneTimedSimulator::drainSlot(TimePs t) {
   Slot& slot = wheel_[t & wheelMask_];
   // Zero-delay gates append to this same slot mid-drain; the index loop
@@ -140,11 +180,14 @@ void LaneTimedSimulator::drainSlot(TimePs t) {
   // store, so the event is copied out first).
   for (std::uint32_t i = 0; i < slot.len; ++i) {
     const SlotEvent e = slot.data[i];
+    // Re-clamp at commit: an event scheduled before a forceNet call still
+    // carries the healthy word.
+    const std::uint64_t word = clampWord(e.net, e.word);
     const std::uint64_t old = values_[e.net];
-    if (old == e.word) continue;
-    values_[e.net] = e.word;
+    if (old == word) continue;
+    values_[e.net] = word;
     laneTransitions_ +=
-        static_cast<std::uint64_t>(std::popcount(old ^ e.word));
+        static_cast<std::uint64_t>(std::popcount(old ^ word));
     if (++eventCount_ > failAt_) [[unlikely]] {
       throwBudgetExceeded();
     }

@@ -100,7 +100,26 @@ class LaneTimedSimulator {
   /// Resets every lane to the settled all-inputs-low state at time 0 with
   /// no events. A cyclic netlist instead powers up all-zero with the
   /// disagreeing gates scheduled to react, as in the scalar engine.
+  /// Net forces (forceNet) survive the reset and are re-applied to the
+  /// power-up state.
   void reset();
+
+  /// Net-override hook on the wheel (stuck-at / defect injection): lanes
+  /// set in `laneMask` of `net` are clamped to the corresponding bits of
+  /// `bits` — the clamp rewrites every word committed to the net (input
+  /// application, scheduled gate output, reset state), so readers and
+  /// output sampling only ever see the forced value while healthy lanes
+  /// keep simulating unchanged. Takes effect immediately at the current
+  /// time: a clamp that changes the net's value schedules its readers
+  /// like any other committed change. Repeated calls accumulate per net.
+  void forceNet(netlist::NetId net, std::uint64_t laneMask,
+                std::uint64_t bits);
+
+  /// Drops every net force. Already-committed forced values stay on the
+  /// nets until re-driven (or until reset()).
+  void clearNetForces();
+
+  [[nodiscard]] bool hasNetForces() const noexcept { return forced_; }
 
   /// All current net value words, indexed by NetId.
   [[nodiscard]] const std::vector<std::uint64_t>& netWords() const noexcept {
@@ -138,6 +157,17 @@ class LaneTimedSimulator {
     std::uint32_t len = 0;
   };
 
+  /// Applies the net-override clamp to a word about to be scheduled or
+  /// committed for `net`. The `forced_` flag keeps the fault-free hot
+  /// path at one predictable branch.
+  [[nodiscard]] inline std::uint64_t clampWord(std::uint32_t net,
+                                               std::uint64_t word) const {
+    if (!forced_) [[likely]] {
+      return word;
+    }
+    return (word & ~forceMask_[net]) | forceBits_[net];
+  }
+
 #if defined(__GNUC__) || defined(__clang__)
   __attribute__((always_inline))
 #endif
@@ -167,6 +197,10 @@ class LaneTimedSimulator {
   std::uint64_t laneTransitions_ = 0;
   std::uint64_t budget_ = kDefaultEventBudget;
   std::uint64_t failAt_ = ~std::uint64_t{0};
+  /// Net-override state (empty until the first forceNet call).
+  std::vector<std::uint64_t> forceMask_;
+  std::vector<std::uint64_t> forceBits_;
+  bool forced_ = false;
 };
 
 /// Drives a LaneTimedSimulator like 64 clocked register stages sharing one
