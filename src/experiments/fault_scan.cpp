@@ -15,17 +15,46 @@
 #include "fault/timed_fault.h"
 #include "netlist/bitops.h"
 #include "netlist/compiled_netlist.h"
+#include "timing/lane_dispatch.h"
 #include "timing/lane_sim.h"
+#include "timing/sta.h"
 
 namespace oisa::experiments {
 
 namespace {
 
-constexpr std::size_t kLanes = fault::PpsfpEngine::kLanes;
+/// Cycles replayed (and discarded) ahead of a mid-stream chunk so its
+/// first measured cycle sees the exact stream state — the TraceCollector
+/// warm-up bound: smallest W with (W + 2) * period > critical path.
+int timedWarmUpCycles(const circuits::SynthesizedDesign& design,
+                      timing::TimePs periodPs) {
+  const timing::TimePs d =
+      timing::quantizeSpanPs(
+          timing::criticalDelayNs(design.netlist, design.delays)) +
+      1;
+  int warmUp = 0;
+  while ((static_cast<timing::TimePs>(warmUp) + 2) * periodPs <= d) {
+    ++warmUp;
+  }
+  return warmUp;
+}
 
-/// Runs `timedCycles` overclocked cycles (64 independent lanes per wheel
-/// sweep) with an optional stem defect clamped in, and returns the
-/// relative-E_joint RMS of the sampled outputs against the exact adder.
+/// Runs `timedCycles` overclocked cycles with an optional stem defect
+/// clamped in, and returns the relative-E_joint RMS of the sampled
+/// outputs against the exact adder.
+///
+/// The measurement is defined by the 64-lane reference schedule — 64
+/// independent stimulus streams, stream l settling on draw l and then
+/// measuring draw 64 + 64b + l at cycle b, accumulated in draw order —
+/// and stays **byte-identical** at any engine width: RMS accumulation is
+/// order-sensitive in floating point, so wider engines never reorder it.
+/// A W = 64K lane engine instead splits each stream's measured cycles
+/// into K contiguous chunks (settle + warm-up replay ahead of each
+/// mid-stream chunk, short chunks idling at the start — the
+/// TraceCollector scheme, which reproduces mid-stream state exactly),
+/// maps stream l's chunk j onto wide lane 64j + l, buffers every silver
+/// sample by its draw index, and only then folds the triples into the
+/// accumulator in the reference order.
 double measureTimedRelJoint(
     const std::shared_ptr<const netlist::CompiledNetlist>& compiled,
     const circuits::SynthesizedDesign& design, double periodNs,
@@ -33,53 +62,125 @@ double measureTimedRelJoint(
     std::uint64_t seed, const RunOptions& run) {
   const int width = design.config.width;
   const core::IsaAdder behavioral(design.config);
-  timing::LaneClockedSampler sampler(compiled, design.delays, periodNs);
+  const auto sampler =
+      timing::makeLaneSampler(compiled, design.delays, periodNs);
   if (defect != nullptr) {
-    fault::injectStuckAt(sampler.simulator(), *defect);
+    fault::injectStuckAt(sampler->simulator(), *defect);
   }
   const auto workload = makeWorkload(run.workload, width, seed);
+  if (timedCycles == 0) return core::ErrorCombination{}.relJoint().rms();
+
+  // Materialize the reference draw sequence: 64 settle vectors, then the
+  // measured stream (draw 64 + m drives measurement m; stream l of the
+  // reference schedule owns measurements m with m % 64 == l).
+  std::array<Stimulus, 64> settle{};
+  for (auto& s : settle) s = workload->next();
+  std::vector<Stimulus> measured(static_cast<std::size_t>(timedCycles));
+  for (auto& s : measured) s = workload->next();
+  const auto streamLen = [&](std::size_t l) {
+    return static_cast<std::size_t>((timedCycles + 63 - l) / 64);
+  };
+  // Stream l's stimulus sequence: index 0 = its settle vector, index
+  // c + 1 = its measurement c.
+  const auto streamStim = [&](std::size_t l, std::size_t idx) -> Stimulus {
+    return idx == 0 ? settle[l] : measured[(idx - 1) * 64 + l];
+  };
+
+  const std::size_t kW = sampler->wordsPerNet();
+  const auto wu =
+      static_cast<std::size_t>(timedWarmUpCycles(design, sampler->periodPs()));
+
+  // Chunk schedule: stream l's chunk j runs on wide lane 64j + l.
+  std::vector<std::size_t> start(64 * kW);
+  std::vector<std::size_t> len(64 * kW);
+  std::vector<std::size_t> warm(64 * kW);
+  std::size_t steps = 0;
+  for (std::size_t l = 0; l < 64; ++l) {
+    const std::size_t n = streamLen(l);
+    const std::size_t base = n / kW;
+    const std::size_t rem = n % kW;
+    for (std::size_t j = 0, c = 0; j < kW; ++j) {
+      const std::size_t L = 64 * j + l;
+      start[L] = c;
+      len[L] = base + (j < rem ? 1 : 0);
+      c += len[L];
+      warm[L] = std::min(wu, start[L]);
+      steps = std::max(steps, warm[L] + len[L]);
+    }
+  }
+  std::vector<std::size_t> idle(64 * kW);
+  for (std::size_t L = 0; L < 64 * kW; ++L) {
+    idle[L] = steps - warm[L] - len[L];
+  }
 
   const std::size_t inputCount = compiled->inputNets().size();
-  std::vector<std::uint64_t> inWords(inputCount, 0);
+  std::vector<std::uint64_t> inWords(inputCount * kW, 0);
+  std::vector<std::uint64_t> subWords(inputCount, 0);
   std::vector<std::uint64_t> outWords;
-  std::array<Stimulus, kLanes> stims{};
-  std::array<std::uint64_t, kLanes> sM{};
+  std::vector<Stimulus> cur(64 * kW);
+  std::array<Stimulus, 64> subStims{};
+  std::array<std::uint64_t, 64> sM{};
+  std::vector<std::uint64_t> silver(measured.size(), 0);
 
-  // Reset vector: settle every lane on its first stimulus (not measured),
-  // mirroring the trace collectors' initialize step.
-  for (auto& s : stims) s = workload->next();
-  packStimulusBlock(stims, width, inWords);
-  sampler.initialize(inWords);
-
-  core::ErrorCombination combo;
-  std::uint64_t remaining = timedCycles;
-  while (remaining > 0) {
-    const auto lanes = static_cast<std::size_t>(
-        std::min<std::uint64_t>(kLanes, remaining));
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      stims[lane] = workload->next();
-    }
-    packStimulusBlock(std::span(stims.data(), lanes), width, inWords);
-    sampler.stepInto(inWords, outWords);
-
-    for (int i = 0; i < width; ++i) {
-      sM[static_cast<std::size_t>(i)] = outWords[static_cast<std::size_t>(i)];
-    }
-    std::fill(sM.begin() + width, sM.end(), 0);
-    const std::uint64_t coutWord = outWords[static_cast<std::size_t>(width)];
-    netlist::transpose64(sM);
-
-    for (std::size_t lane = 0; lane < lanes; ++lane) {
-      const Stimulus& s = stims[lane];
-      std::uint64_t silver = sM[lane];
-      if (width < 64 && ((coutWord >> lane) & 1u) != 0) {
-        silver |= std::uint64_t{1} << width;
+  const auto assembleInputs = [&] {
+    for (std::size_t j = 0; j < kW; ++j) {
+      std::copy_n(cur.begin() + static_cast<std::ptrdiff_t>(64 * j), 64,
+                  subStims.begin());
+      packStimulusBlock(subStims, width, subWords);
+      for (std::size_t i = 0; i < inputCount; ++i) {
+        inWords[i * kW + j] = subWords[i];
       }
-      combo.add(core::OutputTriple{
-          behavioral.exactAdd(s.a, s.b, s.carryIn).value(width),
-          behavioral.add(s.a, s.b, s.carryIn).value(width), silver});
     }
-    remaining -= lanes;
+  };
+
+  // Settle every chunk on the stimulus ahead of its warm-up window (not
+  // measured), mirroring the trace collectors' initialize step.
+  for (std::size_t L = 0; L < 64 * kW; ++L) {
+    cur[L] = streamStim(L % 64, start[L] - warm[L]);
+  }
+  assembleInputs();
+  sampler->initialize(inWords);
+
+  for (std::size_t s = 0; s < steps; ++s) {
+    for (std::size_t L = 0; L < 64 * kW; ++L) {
+      if (s >= idle[L]) {
+        cur[L] = streamStim(L % 64, start[L] - warm[L] + 1 + (s - idle[L]));
+      }
+    }
+    assembleInputs();
+    sampler->stepInto(inWords, outWords);
+
+    for (std::size_t j = 0; j < kW; ++j) {
+      for (int i = 0; i < width; ++i) {
+        sM[static_cast<std::size_t>(i)] =
+            outWords[static_cast<std::size_t>(i) * kW + j];
+      }
+      std::fill(sM.begin() + width, sM.end(), 0);
+      const std::uint64_t coutWord =
+          outWords[static_cast<std::size_t>(width) * kW + j];
+      netlist::transpose64(sM);
+      for (std::size_t l = 0; l < 64; ++l) {
+        const std::size_t L = 64 * j + l;
+        if (s < idle[L] + warm[L]) continue;  // idling or warming up
+        const std::size_t c = start[L] + (s - idle[L] - warm[L]);
+        std::uint64_t value = sM[l];
+        if (width < 64 && ((coutWord >> l) & 1u) != 0) {
+          value |= std::uint64_t{1} << width;
+        }
+        silver[c * 64 + l] = value;
+      }
+    }
+  }
+
+  // Fold in reference draw order: measurement m of the 64-lane schedule
+  // is block m / 64, lane m % 64 — exactly ascending m.
+  core::ErrorCombination combo;
+  for (std::size_t m = 0; m < measured.size(); ++m) {
+    const Stimulus& stim = measured[m];
+    combo.add(core::OutputTriple{
+        behavioral.exactAdd(stim.a, stim.b, stim.carryIn).value(width),
+        behavioral.add(stim.a, stim.b, stim.carryIn).value(width),
+        silver[m]});
   }
   return combo.relJoint().rms();
 }
@@ -123,27 +224,42 @@ std::vector<FaultScanRow> runFaultErrorScan(
     // sees the same stimulus stream (shared seed), as in the paper's
     // common random sample.
     fault::FaultUniverse universe(compiled);
-    fault::PpsfpEngine engine(compiled);
+    const auto engine = fault::makePpsfpEngine(compiled);
     fault::CoverageOptions coverage;
     coverage.patterns = options.run.cycles;
     const auto workload =
         makeWorkload(options.run.workload, width, options.run.seed);
-    std::array<Stimulus, kLanes> stims{};
+    const std::size_t engineLanes = engine->lanes();
+    const std::size_t kW = engine->wordsPerNet();
+    std::array<Stimulus, 64> stims{};
+    std::vector<std::uint64_t> subWords(compiled->inputNets().size(), 0);
     std::uint64_t remaining = coverage.patterns;
+    // Wide engines consume the same workload stream the 64-lane reference
+    // would: draws stay sub-block-major (64 stimuli, then the next
+    // sub-word), so pattern p of a block is always draw p of its stream
+    // position and CoverageResult is width-independent.
     const fault::PatternBlockSource source =
         [&](std::span<std::uint64_t> inputWords) -> std::size_t {
       if (remaining == 0) return 0;
       const auto count = static_cast<std::size_t>(
-          std::min<std::uint64_t>(remaining, kLanes));
+          std::min<std::uint64_t>(remaining, engineLanes));
       remaining -= count;
-      for (std::size_t lane = 0; lane < count; ++lane) {
-        stims[lane] = workload->next();
+      std::fill(inputWords.begin(), inputWords.end(), 0);
+      for (std::size_t packed = 0, j = 0; packed < count; ++j) {
+        const std::size_t sub = std::min<std::size_t>(count - packed, 64);
+        for (std::size_t lane = 0; lane < sub; ++lane) {
+          stims[lane] = workload->next();
+        }
+        packStimulusBlock(std::span(stims.data(), sub), width, subWords);
+        for (std::size_t i = 0; i < subWords.size(); ++i) {
+          inputWords[i * kW + j] = subWords[i];
+        }
+        packed += sub;
       }
-      packStimulusBlock(std::span(stims.data(), count), width, inputWords);
       return count;
     };
     const fault::CoverageResult cov =
-        fault::runCoverage(universe, engine, coverage, source);
+        fault::runCoverage(universe, *engine, coverage, source);
     row.universeFaults = cov.universeFaults;
     row.collapsedClasses = cov.collapsedClasses;
     row.detectedClasses = cov.detectedClasses;

@@ -16,12 +16,13 @@ TraceCollector::TraceCollector(const circuits::SynthesizedDesign& design,
     : design_(design),
       behavioral_(design.config),
       compiled_(netlist::CompiledNetlist::compile(design.netlist)),
-      sampler_(compiled_, design.delays, periodNs),
+      sampler_(timing::makeLaneSampler(compiled_, design.delays, periodNs)),
       periodNs_(periodNs),
-      periodPs_(sampler_.periodPs()),
+      periodPs_(sampler_->periodPs()),
       maxLanes_(std::min<std::size_t>(
-          std::max<std::size_t>(maxLanes, 1),
-          timing::LaneTimedSimulator::kLanes)) {
+          std::max<std::size_t>(maxLanes == 0 ? sampler_->lanes() : maxLanes,
+                                1),
+          sampler_->lanes())) {
   // Warm-up bound: a latched output depends on primary-input values within
   // one maximum output path delay D before its edge. With settle + W
   // replayed cycles ahead of a chunk, all input samples a recorded cycle
@@ -113,7 +114,7 @@ void TraceCollector::fillSilverScalar(std::span<const Stimulus> stimuli,
 void TraceCollector::fillSilverLane(std::span<const Stimulus> stimuli,
                                     predict::Trace& trace,
                                     std::size_t lanes) {
-  constexpr std::size_t kLanes = timing::LaneTimedSimulator::kLanes;
+  const std::size_t kWords = sampler_->wordsPerNet();
   const auto width = static_cast<std::size_t>(design_.config.width);
   const std::size_t n = trace.size();
   const auto wu = static_cast<std::size_t>(warmUp_);
@@ -124,13 +125,16 @@ void TraceCollector::fillSilverLane(std::span<const Stimulus> stimuli,
   // vector ahead of its warm-up window, wu discarded cycles, then its
   // recorded range. Lanes with shorter schedules idle (inputs frozen,
   // settled, zero events) at the *start*, so every lane finishes on the
-  // final sweep and the per-sweep bookkeeping stays uniform.
+  // final sweep and the per-sweep bookkeeping stays uniform. The same
+  // argument covers every lane width: each record's value depends only on
+  // its own chunk's replay, so the chunk count (64 or 512) never shows up
+  // in the trace — only in the wall time.
   const std::size_t base = n / lanes;
   const std::size_t rem = n % lanes;
-  std::array<std::size_t, kLanes> start{};  // first recorded cycle index
-  std::array<std::size_t, kLanes> len{};
-  std::array<std::size_t, kLanes> warm{};   // per-lane warm-up (clamped)
-  std::size_t steps = 0;                    // sweeps needed (max over lanes)
+  std::vector<std::size_t> start(lanes);  // first recorded cycle index
+  std::vector<std::size_t> len(lanes);
+  std::vector<std::size_t> warm(lanes);   // per-lane warm-up (clamped)
+  std::size_t steps = 0;                  // sweeps needed (max over lanes)
   for (std::size_t L = 0, c = 0; L < lanes; ++L) {
     start[L] = c;
     len[L] = base + (L < rem ? 1 : 0);
@@ -138,46 +142,54 @@ void TraceCollector::fillSilverLane(std::span<const Stimulus> stimuli,
     warm[L] = std::min(wu, start[L]);
     steps = std::max(steps, warm[L] + len[L]);
   }
-  std::array<std::size_t, kLanes> idle{};
+  std::vector<std::size_t> idle(lanes);
   for (std::size_t L = 0; L < lanes; ++L) {
     idle[L] = steps - warm[L] - len[L];
   }
 
   // Per-lane operand state (held constant while a lane idles) and the
-  // lane-major input assembly: one transpose per operand per sweep turns
-  // 64 row stimuli into the per-primary-input words the engine consumes.
-  std::array<std::uint64_t, kLanes> curA{};
-  std::array<std::uint64_t, kLanes> curB{};
-  std::uint64_t cinWord = 0;
-  std::array<std::uint64_t, kLanes> aM{};
-  std::array<std::uint64_t, kLanes> bM{};
-  std::array<std::uint64_t, kLanes> outM{};
-  std::vector<std::uint64_t> inWords(2 * width + 1, 0);
+  // lane-major input assembly: one 64x64 transpose per operand per
+  // 64-lane sub-block per sweep turns the row stimuli into the
+  // per-primary-input words the engine consumes (sub-word j of input i
+  // carries lanes [64j, 64j + 64)).
+  std::vector<std::uint64_t> curA(sampler_->lanes(), 0);
+  std::vector<std::uint64_t> curB(sampler_->lanes(), 0);
+  std::vector<std::uint64_t> cinWords(kWords, 0);
+  std::array<std::uint64_t, 64> aM{};
+  std::array<std::uint64_t, 64> bM{};
+  std::array<std::uint64_t, 64> outM{};
+  const std::size_t subBlocks = (lanes + 63) / 64;
+  std::vector<std::uint64_t> inWords((2 * width + 1) * kWords, 0);
   std::vector<std::uint64_t> outWords;
   const auto assembleInputs = [&] {
-    aM = curA;
-    bM = curB;
-    netlist::transpose64(aM);
-    netlist::transpose64(bM);
-    for (std::size_t i = 0; i < width; ++i) {
-      inWords[i] = aM[i];
-      inWords[width + i] = bM[i];
+    for (std::size_t sb = 0; sb < subBlocks; ++sb) {
+      std::copy_n(curA.begin() + static_cast<std::ptrdiff_t>(sb * 64), 64,
+                  aM.begin());
+      std::copy_n(curB.begin() + static_cast<std::ptrdiff_t>(sb * 64), 64,
+                  bM.begin());
+      netlist::transpose64(aM);
+      netlist::transpose64(bM);
+      for (std::size_t i = 0; i < width; ++i) {
+        inWords[i * kWords + sb] = aM[i];
+        inWords[(width + i) * kWords + sb] = bM[i];
+      }
+      inWords[2 * width * kWords + sb] = cinWords[sb];
     }
-    inWords[2 * width] = cinWord;
   };
   const auto setLane = [&](std::size_t L, const Stimulus& s) {
     curA[L] = s.a;
     curB[L] = s.b;
-    const std::uint64_t bit = std::uint64_t{1} << L;
-    cinWord = s.carryIn ? (cinWord | bit) : (cinWord & ~bit);
+    const std::uint64_t bit = std::uint64_t{1} << (L % 64);
+    std::uint64_t& w = cinWords[L / 64];
+    w = s.carryIn ? (w | bit) : (w & ~bit);
   };
 
-  sampler_.simulator().reset();
+  sampler_->simulator().reset();
   for (std::size_t L = 0; L < lanes; ++L) {
     setLane(L, stimuli[start[L] - warm[L]]);  // chunk's settle vector
   }
   assembleInputs();
-  sampler_.initialize(inWords);
+  sampler_->initialize(inWords);
 
   for (std::size_t j = 0; j < steps; ++j) {
     for (std::size_t L = 0; L < lanes; ++L) {
@@ -186,18 +198,25 @@ void TraceCollector::fillSilverLane(std::span<const Stimulus> stimuli,
       }
     }
     assembleInputs();
-    sampler_.stepInto(inWords, outWords);
-    // Output words are lane-major (word o = output o across lanes); one
-    // transpose yields each lane's packed output value in its own row.
-    for (std::size_t o = 0; o <= width; ++o) outM[o] = outWords[o];
-    std::fill(outM.begin() + static_cast<std::ptrdiff_t>(width + 1),
-              outM.end(), 0);
-    netlist::transpose64(outM);
-    for (std::size_t L = 0; L < lanes; ++L) {
-      if (j < idle[L] + warm[L]) continue;  // idling or warming up
-      const std::size_t rec = start[L] + (j - idle[L] - warm[L]);
-      trace[rec].silver = outM[L] & sumMask;
-      trace[rec].silverCout = ((outM[L] >> width) & 1u) != 0;
+    sampler_->stepInto(inWords, outWords);
+    // Output words are lane-major (sub-word sb of word o = output o
+    // across lanes [64sb, 64sb + 64)); one transpose per sub-block yields
+    // each lane's packed output value in its own row.
+    for (std::size_t sb = 0; sb < subBlocks; ++sb) {
+      for (std::size_t o = 0; o <= width; ++o) {
+        outM[o] = outWords[o * kWords + sb];
+      }
+      std::fill(outM.begin() + static_cast<std::ptrdiff_t>(width + 1),
+                outM.end(), 0);
+      netlist::transpose64(outM);
+      const std::size_t laneEnd = std::min<std::size_t>(lanes - sb * 64, 64);
+      for (std::size_t l = 0; l < laneEnd; ++l) {
+        const std::size_t L = sb * 64 + l;
+        if (j < idle[L] + warm[L]) continue;  // idling or warming up
+        const std::size_t rec = start[L] + (j - idle[L] - warm[L]);
+        trace[rec].silver = outM[l] & sumMask;
+        trace[rec].silverCout = ((outM[l] >> width) & 1u) != 0;
+      }
     }
   }
 }

@@ -5,20 +5,23 @@
 // cycle the exact sum (y_diamond), the behavioral/RTL sum (y_gold) and the
 // gate-level sampled sum (y_silver).
 //
-// TraceCollector is the 64-lane engine for that step. It materializes the
-// workload stream once, splits the run into up to 64 contiguous chunks,
-// and replays every chunk as an independent lane of one
-// timing::LaneTimedSimulator sweep over the shared compiled netlist — 64
+// TraceCollector is the lane-parallel engine for that step. It
+// materializes the workload stream once, splits the run into up to W
+// contiguous chunks (W = the runtime-selected lane width, 64/256/512 —
+// see netlist/lane_width.h), and replays every chunk as an independent
+// lane of one timed sweep over the shared compiled netlist — W
 // overclocked cycles per wheel pass instead of one. The replay is
-// **bit-exact** versus the sequential scalar collector at any lane count:
-// a latched output depends only on the input vectors applied within one
-// maximum-path-delay window before its edge, so seeding each chunk with a
-// settle on the stimulus just before its window (plus `warmUpCycles()`
-// replayed-but-discarded cycles when the overclock is deeper than half
-// the critical path) reproduces the mid-stream simulator state exactly.
-// tests/lane_sim_test.cpp asserts record-for-record equality against the
-// retained scalar reference (collectTraceScalar), and
-// bench/micro_lane_sim.cpp re-proves it before gating the speedup.
+// **bit-exact** versus the sequential scalar collector at any lane count
+// and any width: a latched output depends only on the input vectors
+// applied within one maximum-path-delay window before its edge, so
+// seeding each chunk with a settle on the stimulus just before its window
+// (plus `warmUpCycles()` replayed-but-discarded cycles when the overclock
+// is deeper than half the critical path) reproduces the mid-stream
+// simulator state exactly. tests/lane_sim_test.cpp asserts
+// record-for-record equality against the retained scalar reference
+// (collectTraceScalar), tests/lane_width_test.cpp re-asserts it at every
+// available width, and bench/micro_lane_sim.cpp re-proves it before
+// gating the speedup.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +35,7 @@
 #include "netlist/compiled_netlist.h"
 #include "predict/features.h"
 #include "predict/trace.h"
+#include "timing/lane_dispatch.h"
 #include "timing/lane_sim.h"
 
 namespace oisa::experiments {
@@ -59,9 +63,10 @@ class TraceCollector {
  public:
   /// `periodNs` — the (possibly overclocked) clock period. `maxLanes`
   /// caps the independent replay streams per sweep (1 forces the scalar
-  /// path; results are bit-identical at any value).
+  /// path; 0 means "the full selected lane width"; results are
+  /// bit-identical at any value).
   TraceCollector(const circuits::SynthesizedDesign& design, double periodNs,
-                 std::size_t maxLanes = timing::LaneTimedSimulator::kLanes);
+                 std::size_t maxLanes = 0);
 
   /// Runs `cycles` cycles of `workload` through the design and returns the
   /// per-cycle trace. The first stimulus is used as a settled reset vector
@@ -100,7 +105,7 @@ class TraceCollector {
   const circuits::SynthesizedDesign& design_;
   core::IsaAdder behavioral_;
   std::shared_ptr<const netlist::CompiledNetlist> compiled_;
-  timing::LaneClockedSampler sampler_;
+  std::unique_ptr<timing::AnyLaneSampler> sampler_;
   double periodNs_;
   timing::TimePs periodPs_;
   int warmUp_ = 0;

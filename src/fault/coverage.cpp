@@ -1,14 +1,61 @@
 #include "fault/coverage.h"
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <random>
 
 namespace oisa::fault {
 
-CoverageResult runCoverage(const FaultUniverse& universe, PpsfpEngine& engine,
+namespace {
+
+/// Non-owning AnyPpsfpEngine view over a caller-held 64-lane engine, so
+/// the reference-width overloads share the generic campaign loop (and its
+/// caller keeps reading the engine's perf counters afterwards).
+class RefEngineView final : public AnyPpsfpEngine {
+ public:
+  explicit RefEngineView(PpsfpEngine& engine) : engine_(engine) {}
+
+  [[nodiscard]] std::size_t lanes() const noexcept override {
+    return PpsfpEngine::kLanes;
+  }
+  [[nodiscard]] std::size_t wordsPerNet() const noexcept override {
+    return 1;
+  }
+  [[nodiscard]] netlist::LaneSelection selection() const noexcept override {
+    return {64, netlist::LaneArch::Portable};
+  }
+  void loadPatterns(std::span<const std::uint64_t> inputWords,
+                    std::size_t patternCount) override {
+    engine_.loadPatterns(inputWords, patternCount);
+  }
+  void detectLanesInto(const Fault& f,
+                       std::span<std::uint64_t> out) override {
+    engine_.detectLanesInto(f, out);
+  }
+  [[nodiscard]] std::uint64_t faultsSimulated() const noexcept override {
+    return engine_.faultsSimulated();
+  }
+  [[nodiscard]] std::uint64_t gateEvaluations() const noexcept override {
+    return engine_.gateEvaluations();
+  }
+  [[nodiscard]] const std::shared_ptr<const netlist::CompiledNetlist>&
+  compiled() const noexcept override {
+    return engine_.compiled();
+  }
+
+ private:
+  PpsfpEngine& engine_;
+};
+
+}  // namespace
+
+CoverageResult runCoverage(const FaultUniverse& universe,
+                           AnyPpsfpEngine& engine,
                            const CoverageOptions& options,
                            const PatternBlockSource& source) {
   const auto classes = universe.collapsed();
+  const std::size_t kWords = engine.wordsPerNet();
   CoverageResult result;
   result.universeFaults = universe.all().size();
   result.collapsedClasses = classes.size();
@@ -16,44 +63,84 @@ CoverageResult runCoverage(const FaultUniverse& universe, PpsfpEngine& engine,
   result.firstDetectedAt.assign(classes.size(), ~std::uint64_t{0});
 
   std::vector<std::uint64_t> inputWords(
-      universe.compiled()->inputNets().size(), 0);
+      universe.compiled()->inputNets().size() * kWords, 0);
+  std::vector<std::uint64_t> det(kWords, 0);
   while (result.patternsApplied < options.patterns &&
          result.detectedClasses < result.collapsedClasses) {
     const std::size_t count = source(inputWords);
     if (count == 0) break;  // source exhausted
     engine.loadPatterns(inputWords, count);
+    // For byte-identity with the 64-lane reference the applied-pattern
+    // counter must stop at the sub-block that completed detection, not at
+    // the end of the wide block: the reference campaign would have exited
+    // its loop right after that 64-pattern block.
+    std::size_t lastDetectWord = 0;
     for (std::size_t ci = 0; ci < classes.size(); ++ci) {
       if (options.dropDetected && result.detected[ci] != 0) continue;
-      const std::uint64_t lanes = engine.detectLanes(classes[ci]);
-      if (lanes == 0 || result.detected[ci] != 0) continue;
+      engine.detectLanesInto(classes[ci], det);
+      if (result.detected[ci] != 0) continue;
+      std::size_t j = 0;
+      while (j < kWords && det[j] == 0) ++j;
+      if (j == kWords) continue;
       result.detected[ci] = 1;
       ++result.detectedClasses;
       result.firstDetectedAt[ci] =
-          result.patternsApplied +
-          static_cast<std::uint64_t>(std::countr_zero(lanes));
+          result.patternsApplied + 64 * j +
+          static_cast<std::uint64_t>(std::countr_zero(det[j]));
+      lastDetectWord = std::max(lastDetectWord, j);
     }
-    result.patternsApplied += count;
+    if (result.detectedClasses == result.collapsedClasses) {
+      result.patternsApplied +=
+          std::min<std::uint64_t>(count, 64 * (lastDetectWord + 1));
+    } else {
+      result.patternsApplied += count;
+    }
   }
   return result;
 }
 
 CoverageResult runRandomCoverage(const FaultUniverse& universe,
-                                 PpsfpEngine& engine,
+                                 AnyPpsfpEngine& engine,
                                  const CoverageOptions& options) {
   std::mt19937_64 rng(options.seed);
   std::uint64_t remaining = options.patterns;
+  const std::size_t lanes = engine.lanes();
+  const std::size_t kWords = engine.wordsPerNet();
+  const std::size_t inputs = universe.compiled()->inputNets().size();
   const PatternBlockSource source =
       [&](std::span<std::uint64_t> inputWords) -> std::size_t {
     if (remaining == 0) return 0;
     const auto count = static_cast<std::size_t>(
-        std::min<std::uint64_t>(remaining, PpsfpEngine::kLanes));
+        std::min<std::uint64_t>(remaining, lanes));
     remaining -= count;
-    // One fresh 64-lane word per primary input; lanes beyond `count` are
-    // masked out by the engine.
-    for (std::uint64_t& w : inputWords) w = rng();
+    // Draw sub-block-major — one fresh word per primary input, then the
+    // next 64-pattern sub-block — replaying the 64-lane reference's RNG
+    // sequence exactly. Sub-blocks past `count` stay zero; the engine
+    // masks them out of detection.
+    std::fill(inputWords.begin(), inputWords.end(), 0);
+    const std::size_t blocks = (count + 63) / 64;
+    for (std::size_t j = 0; j < blocks; ++j) {
+      for (std::size_t i = 0; i < inputs; ++i) {
+        inputWords[i * kWords + j] = rng();
+      }
+    }
     return count;
   };
   return runCoverage(universe, engine, options, source);
+}
+
+CoverageResult runCoverage(const FaultUniverse& universe, PpsfpEngine& engine,
+                           const CoverageOptions& options,
+                           const PatternBlockSource& source) {
+  RefEngineView view(engine);
+  return runCoverage(universe, view, options, source);
+}
+
+CoverageResult runRandomCoverage(const FaultUniverse& universe,
+                                 PpsfpEngine& engine,
+                                 const CoverageOptions& options) {
+  RefEngineView view(engine);
+  return runRandomCoverage(universe, view, options);
 }
 
 }  // namespace oisa::fault

@@ -1,12 +1,20 @@
 // oisa_fault: random/workload-pattern fault-coverage campaigns.
 //
-// Drives a PpsfpEngine over a stream of 64-pattern blocks and tracks
+// Drives a PPSFP engine over a stream of W-pattern blocks and tracks
 // which collapsed fault classes have been detected. Detected classes are
 // dropped from later blocks by default (classic fault dropping — the
 // bulk of the universe falls in the first few blocks, so dropping turns
 // the campaign cost from classes x blocks into roughly classes +
 // hard-fault tails). The detected set is independent of dropping; only
 // the work saved changes.
+//
+// The campaign accepts any engine width through AnyPpsfpEngine and keeps
+// its results byte-identical to the 64-lane reference: patterns stream
+// through the block in sub-block-major lane order (pattern p of a block
+// sits in bit p%64 of sub-word p/64), first-detection indices are read
+// off the earliest detecting sub-word, and the applied-pattern counter
+// advances per 64-pattern sub-block — so CoverageResult is a pure
+// function of the pattern stream, not of the engine width.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +24,7 @@
 
 #include "fault/fault_universe.h"
 #include "fault/ppsfp.h"
+#include "fault/ppsfp_dispatch.h"
 
 namespace oisa::fault {
 
@@ -46,20 +55,33 @@ struct CoverageResult {
   }
 };
 
-/// Fills `inputWords` (one word per primary input, lane-major) with the
-/// next block of stimuli and returns how many patterns it packed (1..64;
-/// 0 ends the campaign early).
+/// Fills `inputWords` (wordsPerNet words per primary input, input-major,
+/// lane-major within each input) with the next block of stimuli and
+/// returns how many patterns it packed (1..lanes; 0 ends the campaign
+/// early). Pattern p of the block goes to bit p%64 of sub-word p/64.
 using PatternBlockSource =
     std::function<std::size_t(std::span<std::uint64_t> inputWords)>;
 
 /// Runs a campaign over `source` blocks until `options.patterns` stimuli
 /// were applied, every class is detected, or the source runs dry.
 [[nodiscard]] CoverageResult runCoverage(const FaultUniverse& universe,
-                                         PpsfpEngine& engine,
+                                         AnyPpsfpEngine& engine,
                                          const CoverageOptions& options,
                                          const PatternBlockSource& source);
 
-/// Convenience campaign: uniform random primary-input patterns.
+/// Convenience campaign: uniform random primary-input patterns. The RNG
+/// stream is drawn one 64-pattern sub-block at a time (all inputs, then
+/// the next sub-block), so any width replays the 64-lane draw sequence.
+[[nodiscard]] CoverageResult runRandomCoverage(const FaultUniverse& universe,
+                                               AnyPpsfpEngine& engine,
+                                               const CoverageOptions& options);
+
+/// Reference-width overloads over a concrete 64-lane engine (the
+/// original API; all existing call sites and tests).
+[[nodiscard]] CoverageResult runCoverage(const FaultUniverse& universe,
+                                         PpsfpEngine& engine,
+                                         const CoverageOptions& options,
+                                         const PatternBlockSource& source);
 [[nodiscard]] CoverageResult runRandomCoverage(const FaultUniverse& universe,
                                                PpsfpEngine& engine,
                                                const CoverageOptions& options);

@@ -1,152 +1,11 @@
 #include "fault/ppsfp.h"
 
-#include <algorithm>
-#include <stdexcept>
-#include <string>
-
-#include "netlist/batch_evaluator.h"  // evalGateWord
-
 namespace oisa::fault {
 
-using netlist::CompiledNetlist;
-
-PpsfpEngine::PpsfpEngine(std::shared_ptr<const CompiledNetlist> compiled)
-    : compiled_(std::move(compiled)) {
-  if (!compiled_ || !compiled_->acyclic()) {
-    throw std::runtime_error(
-        "PpsfpEngine: fault simulation needs an acyclic netlist");
-  }
-  const std::size_t nets = compiled_->netCount();
-  const std::size_t gates = compiled_->gateCount();
-  good_.assign(nets, 0);
-  faulty_.assign(nets, 0);
-  valEpoch_.assign(nets, 0);
-  outEpoch_.assign(nets, 0);
-  gateEpoch_.assign(gates, 0);
-  isOutput_.assign(nets, false);
-  for (const std::uint32_t po : compiled_->outputNets()) {
-    isOutput_[po] = true;
-  }
-
-  // Levelize off the topological order: a gate's level is one past the
-  // deepest driving gate, so every input net of a level-l gate is
-  // committed while draining buckets < l — one evaluation per gate per
-  // fault suffices.
-  level_.assign(gates, 0);
-  std::vector<std::uint32_t> netLevel(nets, 0);
-  std::uint32_t maxLevel = 0;
-  for (const std::uint32_t gi : compiled_->topologicalOrder()) {
-    const CompiledNetlist::GateRec& g = compiled_->gate(gi);
-    std::uint32_t lvl = 0;
-    for (const std::uint32_t in : g.in) lvl = std::max(lvl, netLevel[in]);
-    level_[gi] = lvl;
-    netLevel[g.out] = lvl + 1;
-    maxLevel = std::max(maxLevel, lvl);
-  }
-  frontier_.resize(static_cast<std::size_t>(maxLevel) + 1);
-}
-
-void PpsfpEngine::loadPatterns(std::span<const std::uint64_t> inputWords,
-                               std::size_t patternCount) {
-  const auto pis = compiled_->inputNets();
-  if (inputWords.size() != pis.size()) {
-    throw std::invalid_argument(
-        "PpsfpEngine: expected " + std::to_string(pis.size()) +
-        " input words, got " + std::to_string(inputWords.size()));
-  }
-  if (patternCount == 0 || patternCount > kLanes) {
-    throw std::invalid_argument("PpsfpEngine: need 1..64 patterns");
-  }
-  laneMask_ = patternCount == kLanes
-                  ? ~std::uint64_t{0}
-                  : (std::uint64_t{1} << patternCount) - 1;
-  std::fill(good_.begin(), good_.end(), 0);
-  for (std::size_t i = 0; i < pis.size(); ++i) {
-    good_[pis[i]] = inputWords[i];
-  }
-  for (const std::uint32_t gi : compiled_->topologicalOrder()) {
-    const CompiledNetlist::GateRec& g = compiled_->gate(gi);
-    good_[g.out] = netlist::evalGateWord(g.kind, good_[g.in[0]],
-                                         good_[g.in[1]], good_[g.in[2]]);
-  }
-}
-
-void PpsfpEngine::commit(std::uint32_t net, std::uint64_t word) {
-  faulty_[net] = word;
-  valEpoch_[net] = epoch_;
-  if (isOutput_[net] && outEpoch_[net] != epoch_) {
-    outEpoch_[net] = epoch_;
-    touchedOutputs_.push_back(net);
-  }
-  const auto offsets = compiled_->fanoutOffsets();
-  const auto readers = compiled_->readers();
-  for (std::uint32_t i = offsets[net]; i < offsets[net + 1]; ++i) {
-    enqueue(readers[i] >> 3);
-  }
-}
-
-void PpsfpEngine::enqueue(std::uint32_t gate) {
-  if (gateEpoch_[gate] == epoch_) return;
-  gateEpoch_[gate] = epoch_;
-  const std::uint32_t lvl = level_[gate];
-  frontier_[lvl].push_back(gate);
-  minLevel_ = std::min(minLevel_, lvl);
-}
-
-std::uint64_t PpsfpEngine::detectLanes(const Fault& f) {
-  ++faultCount_;
-  ++epoch_;
-  touchedOutputs_.clear();
-  minLevel_ = static_cast<std::uint32_t>(frontier_.size());
-
-  // Injection. A fault whose forced word matches the stem's good word in
-  // every valid lane is not activated by this block: nothing can
-  // propagate, so skip the sweep entirely.
-  const std::uint64_t forced = stuckWord(f.stuck);
-  std::uint32_t branchGate = 0xffffffff;
-  std::uint32_t branchPins = 0;
-  if (((forced ^ good_[f.net]) & laneMask_) == 0) return 0;
-  if (f.isStem()) {
-    commit(f.net, forced);
-  } else {
-    const std::uint32_t entry = compiled_->readers()[f.branch];
-    branchGate = entry >> 3;
-    branchPins = entry & 7u;
-    enqueue(branchGate);
-  }
-
-  // Levelized single-fault propagation. Buckets only ever grow at levels
-  // above the one being drained (commits enqueue readers, which sit
-  // strictly deeper), so one pass over the levels visits the whole cone.
-  for (std::uint32_t lvl = minLevel_;
-       lvl < static_cast<std::uint32_t>(frontier_.size()); ++lvl) {
-    std::vector<std::uint32_t>& bucket = frontier_[lvl];
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      const std::uint32_t gi = bucket[i];
-      const CompiledNetlist::GateRec& g = compiled_->gate(gi);
-      std::uint64_t a = effective(g.in[0]);
-      std::uint64_t b = effective(g.in[1]);
-      std::uint64_t c = effective(g.in[2]);
-      if (gi == branchGate) {
-        if ((branchPins & 1u) != 0) a = forced;
-        if ((branchPins & 2u) != 0) b = forced;
-        if ((branchPins & 4u) != 0) c = forced;
-      }
-      ++evalCount_;
-      const std::uint64_t out = netlist::evalGateWord(g.kind, a, b, c);
-      // Early-out: a word equal to the net's current effective value is
-      // the frontier converging with the good machine (or a no-op) —
-      // nothing downstream can change.
-      if (out != effective(g.out)) commit(g.out, out);
-    }
-    bucket.clear();
-  }
-
-  std::uint64_t detected = 0;
-  for (const std::uint32_t net : touchedOutputs_) {
-    detected |= faulty_[net] ^ good_[net];
-  }
-  return detected & laneMask_;
-}
+// The 64-lane reference plus the portable wide fallbacks; intrinsic widths
+// are instantiated only in ppsfp_avx2.cpp / ppsfp_avx512.cpp.
+template class PpsfpEngineT<netlist::LaneBlock<64>>;
+template class PpsfpEngineT<netlist::LaneBlock<256>>;
+template class PpsfpEngineT<netlist::LaneBlock<512>>;
 
 }  // namespace oisa::fault

@@ -1,0 +1,52 @@
+// oisa_fault: the AnyPpsfpEngine adapter template. Included by dispatch
+// TUs only; each instantiates solely the Block flavors it owns.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "fault/ppsfp.h"
+#include "fault/ppsfp_dispatch.h"
+
+namespace oisa::fault::detail {
+
+template <class Block>
+class PpsfpEngineAdapter final : public AnyPpsfpEngine {
+ public:
+  explicit PpsfpEngineAdapter(
+      std::shared_ptr<const netlist::CompiledNetlist> compiled)
+      : impl_(std::move(compiled)) {}
+
+  [[nodiscard]] std::size_t lanes() const noexcept override {
+    return Block::kBits;
+  }
+  [[nodiscard]] std::size_t wordsPerNet() const noexcept override {
+    return Block::kWords;
+  }
+  [[nodiscard]] netlist::LaneSelection selection() const noexcept override {
+    return {Block::kBits, Block::kArch};
+  }
+  void loadPatterns(std::span<const std::uint64_t> inputWords,
+                    std::size_t patternCount) override {
+    impl_.loadPatterns(inputWords, patternCount);
+  }
+  void detectLanesInto(const Fault& f,
+                       std::span<std::uint64_t> out) override {
+    impl_.detectLanesInto(f, out);
+  }
+  [[nodiscard]] std::uint64_t faultsSimulated() const noexcept override {
+    return impl_.faultsSimulated();
+  }
+  [[nodiscard]] std::uint64_t gateEvaluations() const noexcept override {
+    return impl_.gateEvaluations();
+  }
+  [[nodiscard]] const std::shared_ptr<const netlist::CompiledNetlist>&
+  compiled() const noexcept override {
+    return impl_.compiled();
+  }
+
+ private:
+  PpsfpEngineT<Block> impl_;
+};
+
+}  // namespace oisa::fault::detail

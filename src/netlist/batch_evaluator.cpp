@@ -1,16 +1,12 @@
 #include "netlist/batch_evaluator.h"
 
-#include <array>
 #include <stdexcept>
-#include <string>
-
-#include "netlist/bitops.h"
 
 namespace oisa::netlist {
 
-namespace {
+namespace detail {
 
-std::shared_ptr<const CompiledNetlist> requireAcyclic(
+std::shared_ptr<const CompiledNetlist> requireAcyclicBatch(
     std::shared_ptr<const CompiledNetlist> compiled) {
   if (!compiled || !compiled->acyclic()) {
     throw std::runtime_error(
@@ -19,82 +15,14 @@ std::shared_ptr<const CompiledNetlist> requireAcyclic(
   return compiled;
 }
 
-}  // namespace
+}  // namespace detail
 
-BatchEvaluator::BatchEvaluator(const Netlist& nl)
-    : BatchEvaluator(CompiledNetlist::compile(nl)) {}
-
-BatchEvaluator::BatchEvaluator(std::shared_ptr<const CompiledNetlist> compiled)
-    : compiled_(requireAcyclic(std::move(compiled))) {}
-
-void BatchEvaluator::evaluateInto(std::span<const std::uint64_t> inputWords,
-                                  std::vector<std::uint64_t>& values) const {
-  const auto pis = compiled_->inputNets();
-  if (inputWords.size() != pis.size()) {
-    throw std::invalid_argument(
-        "BatchEvaluator: expected " + std::to_string(pis.size()) +
-        " input words, got " + std::to_string(inputWords.size()));
-  }
-  values.assign(compiled_->netCount(), 0);
-  for (std::size_t i = 0; i < pis.size(); ++i) {
-    values[pis[i]] = inputWords[i];
-  }
-  for (const std::uint32_t gi : compiled_->topologicalOrder()) {
-    const CompiledNetlist::GateRec& g = compiled_->gate(gi);
-    values[g.out] = evalGateWord(g.kind, values[g.in[0]], values[g.in[1]],
-                                 values[g.in[2]]);
-  }
-}
-
-std::vector<std::uint64_t> BatchEvaluator::evaluate(
-    std::span<const std::uint64_t> inputWords) const {
-  std::vector<std::uint64_t> values;
-  evaluateInto(inputWords, values);
-  return values;
-}
-
-std::vector<std::uint64_t> BatchEvaluator::evaluateOutputs(
-    std::span<const std::uint64_t> inputWords) const {
-  const auto values = evaluate(inputWords);
-  const auto pos = compiled_->outputNets();
-  std::vector<std::uint64_t> out(pos.size());
-  for (std::size_t i = 0; i < pos.size(); ++i) {
-    out[i] = values[pos[i]];
-  }
-  return out;
-}
-
-std::vector<std::uint64_t> BatchEvaluator::evaluateWords(
-    std::span<const std::uint64_t> patterns) const {
-  const auto pis = compiled_->inputNets();
-  const auto pos = compiled_->outputNets();
-  if (pis.size() > kLanes || pos.size() > kLanes) {
-    throw std::invalid_argument("BatchEvaluator::evaluateWords: > 64 ports");
-  }
-  if (patterns.empty() || patterns.size() > kLanes) {
-    throw std::invalid_argument(
-        "BatchEvaluator::evaluateWords: need 1..64 patterns");
-  }
-  // Transpose pattern-major rows into lane-major columns: after the
-  // transpose, word i holds bit i of every pattern, i.e. the 64-lane value
-  // of primary input i — with pattern p in lane p.
-  std::array<std::uint64_t, kLanes> matrix{};
-  for (std::size_t p = 0; p < patterns.size(); ++p) {
-    matrix[p] = patterns[p];
-  }
-  transpose64(matrix);
-  const auto outWords =
-      evaluateOutputs(std::span<const std::uint64_t>(matrix.data(),
-                                                     pis.size()));
-  // Transpose back: row o currently holds output o across lanes; afterwards
-  // row p packs all outputs of pattern p.
-  matrix.fill(0);
-  for (std::size_t o = 0; o < outWords.size(); ++o) {
-    matrix[o] = outWords[o];
-  }
-  transpose64(matrix);
-  return {matrix.begin(), matrix.begin() + static_cast<std::ptrdiff_t>(
-                                               patterns.size())};
-}
+// The reference width plus the portable wide fallbacks used by the runtime
+// dispatcher on machines without the matching vector ISA. The intrinsic
+// widths are instantiated only in the per-arch dispatch TUs
+// (lane_simd_avx2.cpp / lane_simd_avx512.cpp).
+template class BatchEvaluatorT<LaneBlock<64>>;
+template class BatchEvaluatorT<LaneBlock<256>>;
+template class BatchEvaluatorT<LaneBlock<512>>;
 
 }  // namespace oisa::netlist

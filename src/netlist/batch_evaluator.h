@@ -1,11 +1,21 @@
-// oisa_netlist: word-parallel (64-lane) zero-delay evaluation.
+// oisa_netlist: word-parallel (W-lane) zero-delay evaluation.
 //
-// Packs 64 independent input patterns into one std::uint64_t per net — bit L
-// of every word belongs to pattern L — and evaluates all of them in a single
-// topological sweep using bitwise gate functions. This is the classic
-// bit-parallel fault-simulation idiom: the sweep cost is identical to one
-// scalar Evaluator pass, so throughput improves by up to 64x for functional
-// Monte-Carlo sampling, equivalence checking and workload replay.
+// Packs W independent input patterns into W/64 std::uint64_t words per net
+// — bit L of sub-word j belongs to pattern 64j + L — and evaluates all of
+// them in a single topological sweep using bitwise gate functions. This is
+// the classic bit-parallel fault-simulation idiom: the sweep cost is
+// identical to one scalar Evaluator pass, so throughput improves by up to
+// W x for functional Monte-Carlo sampling, equivalence checking and
+// workload replay.
+//
+// The engine is a template over netlist::LaneBlock (64-bit scalar, 256-bit
+// AVX2, 512-bit AVX-512, or any portable multiple-of-64 width); the
+// original 64-lane engine is the `BatchEvaluator` alias and stays the
+// canonical reference. Data planes are flat uint64 vectors with kWords
+// words per net (input-major: net n's lanes live at [n*kWords,
+// (n+1)*kWords)), so slicing a wide run into 64-lane sub-runs is a stride
+// — the property tests/lane_width_test.cpp uses to prove every width
+// bit-exact against the reference.
 //
 // Runs over the shared netlist::CompiledNetlist substrate (dense gate
 // records + cached topological order), so it can share one compile with the
@@ -14,12 +24,17 @@
 // topology). The 64x64 lane transpose lives in netlist/bitops.h.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "netlist/bitops.h"
 #include "netlist/compiled_netlist.h"
+#include "netlist/lane_block.h"
 #include "netlist/netlist.h"
 
 namespace oisa::netlist {
@@ -51,52 +66,151 @@ namespace oisa::netlist {
   return 0;
 }
 
-/// Reusable 64-lane evaluator over a compiled netlist.
+namespace detail {
+
+/// Shared cycle guard for all BatchEvaluatorT widths (single definition,
+/// single error message). Defined in batch_evaluator.cpp.
+[[nodiscard]] std::shared_ptr<const CompiledNetlist> requireAcyclicBatch(
+    std::shared_ptr<const CompiledNetlist> compiled);
+
+}  // namespace detail
+
+/// Reusable W-lane evaluator over a compiled netlist.
 ///
 /// Two layouts are supported:
-///  * lane-major ("one word per net"): evaluate()/evaluateOutputs() take one
-///    word per primary input whose bit L is pattern L's value of that input.
-///    Works for any port count — this is the hot-path API.
+///  * lane-major ("kWords words per net"): evaluate()/evaluateOutputs()
+///    take kWords words per primary input whose bit L of sub-word j is
+///    pattern (64j + L)'s value of that input. Works for any port count —
+///    this is the hot-path API.
 ///  * pattern-major ("one word per pattern"): evaluateWords() takes packed
 ///    words in the Evaluator::evaluateWord convention (bit i = primary
 ///    input i) and transposes internally. Requires <= 64 inputs/outputs.
-class BatchEvaluator {
+template <class Block>
+class BatchEvaluatorT {
  public:
   /// Number of patterns evaluated per sweep.
-  static constexpr std::size_t kLanes = 64;
+  static constexpr std::size_t kLanes = Block::kBits;
+  /// uint64 words per net in every lane-major span.
+  static constexpr std::size_t kWords = Block::kWords;
 
   /// Compiles `nl` privately. Throws std::runtime_error on a cyclic
   /// netlist (functional evaluation needs a topological order).
-  explicit BatchEvaluator(const Netlist& nl);
+  explicit BatchEvaluatorT(const Netlist& nl)
+      : BatchEvaluatorT(CompiledNetlist::compile(nl)) {}
 
   /// Shares an existing compile (e.g. with a timed engine over the same
   /// design). Same cycle check as the Netlist constructor.
-  explicit BatchEvaluator(std::shared_ptr<const CompiledNetlist> compiled);
+  explicit BatchEvaluatorT(std::shared_ptr<const CompiledNetlist> compiled)
+      : compiled_(detail::requireAcyclicBatch(std::move(compiled))) {}
 
-  /// Evaluates 64 patterns at once. `inputWords` holds one word per primary
-  /// input (declaration order); bit L of word i is pattern L's value of
-  /// input i. Returns one word per net, indexed by NetId::value. For
-  /// batches smaller than 64 the extra lanes simply compute whatever the
-  /// unused input bits encode; callers mask them out.
+  /// Evaluates kLanes patterns at once. `inputWords` holds kWords words per
+  /// primary input (declaration order, input-major). Returns kWords words
+  /// per net, indexed by NetId::value * kWords. For batches smaller than
+  /// kLanes the extra lanes simply compute whatever the unused input bits
+  /// encode; callers mask them out.
   [[nodiscard]] std::vector<std::uint64_t> evaluate(
-      std::span<const std::uint64_t> inputWords) const;
+      std::span<const std::uint64_t> inputWords) const {
+    std::vector<std::uint64_t> values;
+    evaluateInto(inputWords, values);
+    return values;
+  }
 
-  /// Like evaluate() but writes into `values` (resized to netCount()),
-  /// avoiding per-batch allocation in hot loops.
+  /// Like evaluate() but writes into `values` (resized to
+  /// netCount() * kWords), avoiding per-batch allocation in hot loops.
   void evaluateInto(std::span<const std::uint64_t> inputWords,
-                    std::vector<std::uint64_t>& values) const;
+                    std::vector<std::uint64_t>& values) const {
+    const auto pis = compiled_->inputNets();
+    if (inputWords.size() != pis.size() * kWords) {
+      throw std::invalid_argument(
+          "BatchEvaluator: expected " + std::to_string(pis.size() * kWords) +
+          " input words, got " + std::to_string(inputWords.size()));
+    }
+    values.assign(compiled_->netCount() * kWords, 0);
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      Block::load(inputWords.data() + i * kWords)
+          .store(values.data() + std::size_t{pis[i]} * kWords);
+    }
+    for (const std::uint32_t gi : compiled_->topologicalOrder()) {
+      const CompiledNetlist::GateRec& g = compiled_->gate(gi);
+      const Block out = evalGateBlock<Block>(
+          g.kind, Block::load(values.data() + std::size_t{g.in[0]} * kWords),
+          Block::load(values.data() + std::size_t{g.in[1]} * kWords),
+          Block::load(values.data() + std::size_t{g.in[2]} * kWords));
+      out.store(values.data() + std::size_t{g.out} * kWords);
+    }
+  }
 
-  /// Evaluates 64 patterns and returns one word per primary output
-  /// (declaration order); bit L of word o is pattern L's value of output o.
+  /// Evaluates kLanes patterns and returns kWords words per primary output
+  /// (declaration order, output-major).
   [[nodiscard]] std::vector<std::uint64_t> evaluateOutputs(
-      std::span<const std::uint64_t> inputWords) const;
+      std::span<const std::uint64_t> inputWords) const {
+    const auto values = evaluate(inputWords);
+    const auto pos = compiled_->outputNets();
+    std::vector<std::uint64_t> out(pos.size() * kWords);
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      for (std::size_t j = 0; j < kWords; ++j) {
+        out[i * kWords + j] = values[std::size_t{pos[i]} * kWords + j];
+      }
+    }
+    return out;
+  }
 
   /// Pattern-major batch counterpart of Evaluator::evaluateWord: element p
   /// of `patterns` packs primary-input bits of pattern p (bit i drives
   /// input i); the result packs primary-output bits the same way. Accepts
-  /// 1..64 patterns per call and requires <= 64 inputs / outputs.
+  /// 1..kLanes patterns per call and requires <= 64 inputs / outputs.
   [[nodiscard]] std::vector<std::uint64_t> evaluateWords(
-      std::span<const std::uint64_t> patterns) const;
+      std::span<const std::uint64_t> patterns) const {
+    const auto pis = compiled_->inputNets();
+    const auto pos = compiled_->outputNets();
+    if (pis.size() > 64 || pos.size() > 64) {
+      throw std::invalid_argument("BatchEvaluator::evaluateWords: > 64 ports");
+    }
+    if (patterns.empty() || patterns.size() > kLanes) {
+      throw std::invalid_argument(
+          "BatchEvaluator::evaluateWords: need 1.." + std::to_string(kLanes) +
+          " patterns");
+    }
+    // Transpose pattern-major rows into lane-major columns, one 64-pattern
+    // sub-block at a time: after the transpose of sub-block j, its word i
+    // holds bit i of patterns [64j, 64j + 64), i.e. sub-word j of primary
+    // input i's lane-major value.
+    const std::size_t blocks = (patterns.size() + 63) / 64;
+    std::vector<std::uint64_t> inWords(pis.size() * kWords, 0);
+    std::array<std::uint64_t, 64> matrix{};
+    for (std::size_t j = 0; j < blocks; ++j) {
+      matrix.fill(0);
+      const std::size_t base = j * 64;
+      const std::size_t count = std::min<std::size_t>(64,
+                                                      patterns.size() - base);
+      for (std::size_t p = 0; p < count; ++p) {
+        matrix[p] = patterns[base + p];
+      }
+      transpose64(matrix);
+      for (std::size_t i = 0; i < pis.size(); ++i) {
+        inWords[i * kWords + j] = matrix[i];
+      }
+    }
+    const auto outWords = evaluateOutputs(inWords);
+    // Transpose back per sub-block: row o holds output o across the
+    // sub-block's lanes; afterwards row p packs all outputs of pattern
+    // base + p.
+    std::vector<std::uint64_t> result(patterns.size());
+    for (std::size_t j = 0; j < blocks; ++j) {
+      matrix.fill(0);
+      for (std::size_t o = 0; o < pos.size(); ++o) {
+        matrix[o] = outWords[o * kWords + j];
+      }
+      transpose64(matrix);
+      const std::size_t base = j * 64;
+      const std::size_t count = std::min<std::size_t>(64,
+                                                      patterns.size() - base);
+      for (std::size_t p = 0; p < count; ++p) {
+        result[base + p] = matrix[p];
+      }
+    }
+    return result;
+  }
 
   [[nodiscard]] const Netlist& netlist() const noexcept {
     return compiled_->source();
@@ -109,5 +223,17 @@ class BatchEvaluator {
  private:
   std::shared_ptr<const CompiledNetlist> compiled_;
 };
+
+/// The canonical 64-lane reference evaluator (original API: one word per
+/// net, one word per input/output).
+using BatchEvaluator = BatchEvaluatorT<LaneBlock64>;
+
+// Portable widths are instantiated once in batch_evaluator.cpp (compiled
+// with the baseline flags) so TUs built with wider -m flags never emit
+// portable-width code — that keeps the dispatch binaries runnable on
+// x86-64-v2-only hosts.
+extern template class BatchEvaluatorT<LaneBlock<64>>;
+extern template class BatchEvaluatorT<LaneBlock<256>>;
+extern template class BatchEvaluatorT<LaneBlock<512>>;
 
 }  // namespace oisa::netlist

@@ -1,0 +1,49 @@
+// oisa_netlist: the AnyBatchEvaluator adapter template. Included by the
+// dispatch TUs only (lane_width.cpp for the portable widths, the
+// lane_simd_*.cpp per-arch TUs for the intrinsic ones) — each TU
+// instantiates the adapter solely for the Block flavors it owns, so no
+// vector code leaks into baseline objects.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "netlist/batch_evaluator.h"
+#include "netlist/lane_width.h"
+
+namespace oisa::netlist::detail {
+
+template <class Block>
+class BatchEvaluatorAdapter final : public AnyBatchEvaluator {
+ public:
+  explicit BatchEvaluatorAdapter(
+      std::shared_ptr<const CompiledNetlist> compiled)
+      : impl_(std::move(compiled)) {}
+
+  [[nodiscard]] std::size_t lanes() const noexcept override {
+    return Block::kBits;
+  }
+  [[nodiscard]] std::size_t wordsPerNet() const noexcept override {
+    return Block::kWords;
+  }
+  [[nodiscard]] LaneSelection selection() const noexcept override {
+    return {Block::kBits, Block::kArch};
+  }
+  void evaluateInto(std::span<const std::uint64_t> inputWords,
+                    std::vector<std::uint64_t>& values) const override {
+    impl_.evaluateInto(inputWords, values);
+  }
+  void evaluateOutputsInto(std::span<const std::uint64_t> inputWords,
+                           std::vector<std::uint64_t>& out) const override {
+    out = impl_.evaluateOutputs(inputWords);
+  }
+  [[nodiscard]] const std::shared_ptr<const CompiledNetlist>& compiled()
+      const noexcept override {
+    return impl_.compiled();
+  }
+
+ private:
+  BatchEvaluatorT<Block> impl_;
+};
+
+}  // namespace oisa::netlist::detail

@@ -1,0 +1,66 @@
+#include "timing/lane_dispatch.h"
+
+#include <stdexcept>
+
+#include "timing/lane_dispatch_impl.h"
+
+namespace oisa::timing {
+
+using netlist::LaneArch;
+using netlist::LaneBlock;
+using netlist::LaneSelection;
+
+std::unique_ptr<AnyLaneSampler> makeLaneSampler(
+    std::shared_ptr<const netlist::CompiledNetlist> compiled,
+    const DelayAnnotation& delays, double periodNs) {
+  return makeLaneSampler(std::move(compiled), delays, periodNs,
+                         netlist::selectLaneWidth());
+}
+
+std::unique_ptr<AnyLaneSampler> makeLaneSampler(
+    std::shared_ptr<const netlist::CompiledNetlist> compiled,
+    const DelayAnnotation& delays, double periodNs, LaneSelection sel) {
+  if (sel.arch != LaneArch::Portable &&
+      !netlist::cpuSupportsLaneArch(sel.arch)) {
+    throw std::invalid_argument("makeLaneSampler: variant " +
+                                netlist::laneSelectionName(sel) +
+                                " is not runnable on this build/CPU");
+  }
+  switch (sel.arch) {
+    case LaneArch::Avx2:
+#if defined(OISA_HAVE_AVX2)
+      return detail::makeLaneSamplerAvx2(std::move(compiled), delays,
+                                         periodNs);
+#else
+      break;
+#endif
+    case LaneArch::Avx512:
+#if defined(OISA_HAVE_AVX512)
+      return detail::makeLaneSamplerAvx512(std::move(compiled), delays,
+                                           periodNs);
+#else
+      break;
+#endif
+    case LaneArch::Portable:
+      switch (sel.width) {
+        case 64:
+          return std::make_unique<
+              detail::LaneSamplerAdapter<LaneBlock<64>>>(
+              std::move(compiled), delays, periodNs);
+        case 256:
+          return std::make_unique<
+              detail::LaneSamplerAdapter<LaneBlock<256>>>(
+              std::move(compiled), delays, periodNs);
+        case 512:
+          return std::make_unique<
+              detail::LaneSamplerAdapter<LaneBlock<512>>>(
+              std::move(compiled), delays, periodNs);
+        default: break;
+      }
+      break;
+  }
+  throw std::invalid_argument("makeLaneSampler: unsupported variant " +
+                              netlist::laneSelectionName(sel));
+}
+
+}  // namespace oisa::timing

@@ -1,0 +1,106 @@
+// oisa_timing: the AnyLaneSimulator/AnyLaneSampler adapter templates.
+// Included by dispatch TUs only; each instantiates solely the Block
+// flavors it owns (see netlist/lane_width_impl.h for the rationale).
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "timing/lane_dispatch.h"
+#include "timing/lane_sim.h"
+
+namespace oisa::timing::detail {
+
+template <class Block>
+class LaneSimulatorAdapter final : public AnyLaneSimulator {
+ public:
+  explicit LaneSimulatorAdapter(LaneTimedSimulatorT<Block>& sim)
+      : sim_(sim) {}
+
+  [[nodiscard]] std::size_t lanes() const noexcept override {
+    return Block::kBits;
+  }
+  [[nodiscard]] std::size_t wordsPerNet() const noexcept override {
+    return Block::kWords;
+  }
+  void applyInputs(std::span<const std::uint64_t> inputWords) override {
+    sim_.applyInputs(inputWords);
+  }
+  void advancePs(TimePs deltaPs) override { sim_.advancePs(deltaPs); }
+  TimePs settlePs() override { return sim_.settlePs(); }
+  void sampleOutputsInto(std::vector<std::uint64_t>& out) const override {
+    sim_.sampleOutputsInto(out);
+  }
+  void reset() override { sim_.reset(); }
+  void forceNet(netlist::NetId net, std::uint64_t laneMask,
+                std::uint64_t bits) override {
+    sim_.forceNet(net, laneMask, bits);
+  }
+  void clearNetForces() override { sim_.clearNetForces(); }
+  void setEventBudget(std::uint64_t maxEventsPerCall) override {
+    sim_.setEventBudget(maxEventsPerCall);
+  }
+  [[nodiscard]] std::uint64_t eventsProcessed() const noexcept override {
+    return sim_.eventsProcessed();
+  }
+  [[nodiscard]] std::uint64_t laneTransitionsCommitted()
+      const noexcept override {
+    return sim_.laneTransitionsCommitted();
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& netWords()
+      const noexcept override {
+    return sim_.netWords();
+  }
+  [[nodiscard]] TimePs nowPs() const noexcept override {
+    return sim_.nowPs();
+  }
+  [[nodiscard]] const std::shared_ptr<const netlist::CompiledNetlist>&
+  compiled() const noexcept override {
+    return sim_.compiled();
+  }
+
+ private:
+  LaneTimedSimulatorT<Block>& sim_;
+};
+
+template <class Block>
+class LaneSamplerAdapter final : public AnyLaneSampler {
+ public:
+  LaneSamplerAdapter(
+      std::shared_ptr<const netlist::CompiledNetlist> compiled,
+      const DelayAnnotation& delays, double periodNs)
+      : impl_(std::move(compiled), delays, periodNs),
+        simAdapter_(impl_.simulator()) {}
+
+  [[nodiscard]] netlist::LaneSelection selection() const noexcept override {
+    return {Block::kBits, Block::kArch};
+  }
+  [[nodiscard]] std::size_t lanes() const noexcept override {
+    return Block::kBits;
+  }
+  [[nodiscard]] std::size_t wordsPerNet() const noexcept override {
+    return Block::kWords;
+  }
+  void initialize(std::span<const std::uint64_t> inputWords) override {
+    impl_.initialize(inputWords);
+  }
+  void stepInto(std::span<const std::uint64_t> inputWords,
+                std::vector<std::uint64_t>& out) override {
+    impl_.stepInto(inputWords, out);
+  }
+  [[nodiscard]] double periodNs() const noexcept override {
+    return impl_.periodNs();
+  }
+  [[nodiscard]] TimePs periodPs() const noexcept override {
+    return impl_.periodPs();
+  }
+  [[nodiscard]] AnyLaneSimulator& simulator() noexcept override {
+    return simAdapter_;
+  }
+
+ private:
+  LaneClockedSamplerT<Block> impl_;
+  LaneSimulatorAdapter<Block> simAdapter_;
+};
+
+}  // namespace oisa::timing::detail

@@ -1,288 +1,14 @@
 #include "timing/lane_sim.h"
 
-#include <algorithm>
-#include <bit>
-#include <stdexcept>
-#include <string>
-
-#include "netlist/batch_evaluator.h"  // evalGateWord
-
 namespace oisa::timing {
 
-using netlist::CompiledNetlist;
-using netlist::GateKind;
-using netlist::Netlist;
-
-LaneTimedSimulator::LaneTimedSimulator(const Netlist& nl,
-                                       const DelayAnnotation& delays)
-    : LaneTimedSimulator(CompiledNetlist::compile(nl), delays) {}
-
-LaneTimedSimulator::LaneTimedSimulator(
-    std::shared_ptr<const CompiledNetlist> compiled,
-    const DelayAnnotation& delays)
-    : compiled_(std::move(compiled)) {
-  if (delays.gateCount() != compiled_->gateCount()) {
-    throw std::invalid_argument(
-        "LaneTimedSimulator: annotation does not match netlist");
-  }
-  fanoutOffset_ = compiled_->fanoutOffsets();
-  readers_ = compiled_->readers();
-  inputNets_ = compiled_->inputNets();
-  const std::vector<TimePs> delaysPs = delays.quantizedDelaysPs();
-  TimePs maxDelay = 0;
-  gates_.resize(compiled_->gateCount());
-  for (std::uint32_t gi = 0; gi < gates_.size(); ++gi) {
-    const CompiledNetlist::GateRec& g = compiled_->gate(gi);
-    const TimePs d = delaysPs[gi];
-    if (d < 0 || d > kMaxDelayPs) {
-      throw std::invalid_argument(
-          "LaneTimedSimulator: gate delay outside supported range [0, ~1us]");
-    }
-    GateRec& rec = gates_[gi];
-    rec.in = g.in;
-    rec.out = g.out;
-    rec.delayPs = static_cast<std::uint32_t>(d);
-    rec.kind = static_cast<std::uint32_t>(g.kind);
-    maxDelay = std::max(maxDelay, d);
-  }
-  lastSched_.resize(gates_.size());
-  const auto slots = std::bit_ceil(static_cast<std::uint64_t>(maxDelay) + 1);
-  wheel_.resize(slots);
-  wheelMask_ = static_cast<std::uint32_t>(slots - 1);
-  reset();
-}
-
-void LaneTimedSimulator::reset() {
-  // Broadcast the compiled settled all-inputs-low state to every lane.
-  // Cyclic netlists power up all-zero instead; as in the scalar engine,
-  // gates disagreeing with that state are scheduled to react so the first
-  // advance/settle converges to a logic-consistent quiescent state (or
-  // trips the event budget if the loop oscillates).
-  const auto zero = compiled_->zeroState();
-  values_.resize(zero.size());
-  for (std::size_t n = 0; n < zero.size(); ++n) {
-    values_[n] =
-        clampWord(static_cast<std::uint32_t>(n),
-                  zero[n] ? ~std::uint64_t{0} : 0);
-  }
-  for (Slot& slot : wheel_) slot.len = 0;
-  pending_ = 0;
-  now_ = 0;
-  cursor_ = 0;
-  eventCount_ = 0;
-  laneTransitions_ = 0;
-  for (std::uint32_t gi = 0; gi < gates_.size(); ++gi) {
-    const GateRec& rec = gates_[gi];
-    const std::uint64_t out = clampWord(
-        rec.out,
-        netlist::evalGateWord(static_cast<GateKind>(rec.kind),
-                              values_[rec.in[0]], values_[rec.in[1]],
-                              values_[rec.in[2]]));
-    lastSched_[gi] = out;
-    if (out != values_[rec.out]) [[unlikely]] {
-      Slot& slot = wheel_[rec.delayPs & wheelMask_];
-      if (slot.len == slot.data.size()) {
-        slot.data.resize(std::max<std::size_t>(8, slot.data.size() * 2));
-      }
-      slot.data[slot.len] = SlotEvent{rec.out, out};
-      ++slot.len;
-      ++pending_;
-    }
-  }
-}
-
-void LaneTimedSimulator::applyInputs(
-    std::span<const std::uint64_t> inputWords) {
-  if (inputWords.size() != inputNets_.size()) {
-    throw std::invalid_argument(
-        "LaneTimedSimulator: wrong input word count");
-  }
-  for (std::size_t i = 0; i < inputNets_.size(); ++i) {
-    const std::uint32_t net = inputNets_[i];
-    const std::uint64_t w = clampWord(net, inputWords[i]);
-    if (values_[net] != w) {
-      laneTransitions_ +=
-          static_cast<std::uint64_t>(std::popcount(values_[net] ^ w));
-      values_[net] = w;
-      scheduleReaders(net, now_);
-    }
-  }
-}
-
-void LaneTimedSimulator::scheduleReaders(std::uint32_t net, TimePs atTime) {
-  const std::uint32_t begin = fanoutOffset_[net];
-  const std::uint32_t end = fanoutOffset_[net + 1];
-  for (std::uint32_t i = begin; i < end; ++i) {
-    const std::uint32_t g = readers_[i] >> 3;
-    const GateRec& rec = gates_[g];
-    // Recompute the full 64-lane output word. Lanes whose inputs did not
-    // change recompute the value they already scheduled, so the dedup
-    // below (`changed == 0`) drops pure no-ops and a partially-changed
-    // word re-commits quiet lanes' bits harmlessly. Forced (stuck) lanes
-    // of the output net are clamped before the dedup, so a defective net
-    // never schedules its healthy value.
-    const std::uint64_t out = clampWord(
-        rec.out,
-        netlist::evalGateWord(static_cast<GateKind>(rec.kind),
-                              values_[rec.in[0]], values_[rec.in[1]],
-                              values_[rec.in[2]]));
-    const std::uint64_t changed = out ^ lastSched_[g];
-    if (changed == 0) continue;
-    lastSched_[g] = out;
-    Slot& slot = wheel_[(atTime + rec.delayPs) & wheelMask_];
-    if (slot.len == slot.data.size()) [[unlikely]] {
-      slot.data.resize(std::max<std::size_t>(8, slot.data.size() * 2));
-    }
-    slot.data[slot.len] = SlotEvent{rec.out, out};
-    ++slot.len;
-    ++pending_;
-  }
-}
-
-void LaneTimedSimulator::forceNet(netlist::NetId net, std::uint64_t laneMask,
-                                  std::uint64_t bits) {
-  if (net.value >= values_.size()) {
-    throw std::invalid_argument(
-        "LaneTimedSimulator::forceNet: net index out of range (fault from "
-        "another netlist?)");
-  }
-  if (forceMask_.empty()) {
-    forceMask_.assign(values_.size(), 0);
-    forceBits_.assign(values_.size(), 0);
-  }
-  forceMask_[net.value] |= laneMask;
-  forceBits_[net.value] =
-      (forceBits_[net.value] & ~laneMask) | (bits & laneMask);
-  forced_ = true;
-  // Commit the clamp immediately at the current time, exactly like an
-  // input change: readers of a net whose value flips react after their
-  // own delays.
-  const std::uint64_t w = clampWord(net.value, values_[net.value]);
-  if (values_[net.value] != w) {
-    laneTransitions_ +=
-        static_cast<std::uint64_t>(std::popcount(values_[net.value] ^ w));
-    values_[net.value] = w;
-    scheduleReaders(net.value, now_);
-  }
-}
-
-void LaneTimedSimulator::clearNetForces() {
-  if (!forced_) return;
-  forced_ = false;
-  std::fill(forceMask_.begin(), forceMask_.end(), 0);
-  std::fill(forceBits_.begin(), forceBits_.end(), 0);
-}
-
-void LaneTimedSimulator::drainSlot(TimePs t) {
-  Slot& slot = wheel_[t & wheelMask_];
-  // Zero-delay gates append to this same slot mid-drain; the index loop
-  // picks those up in schedule order (an append may reallocate the backing
-  // store, so the event is copied out first).
-  for (std::uint32_t i = 0; i < slot.len; ++i) {
-    const SlotEvent e = slot.data[i];
-    // Re-clamp at commit: an event scheduled before a forceNet call still
-    // carries the healthy word.
-    const std::uint64_t word = clampWord(e.net, e.word);
-    const std::uint64_t old = values_[e.net];
-    if (old == word) continue;
-    values_[e.net] = word;
-    laneTransitions_ +=
-        static_cast<std::uint64_t>(std::popcount(old ^ word));
-    if (++eventCount_ > failAt_) [[unlikely]] {
-      throwBudgetExceeded();
-    }
-    scheduleReaders(e.net, t);
-  }
-  pending_ -= slot.len;
-  slot.len = 0;
-}
-
-void LaneTimedSimulator::throwBudgetExceeded() const {
-  throw std::runtime_error(
-      "LaneTimedSimulator: event budget of " + std::to_string(budget_) +
-      " committed events exceeded within one advance/settle call — "
-      "non-settling or cyclic netlist? (the simulator state is "
-      "inconsistent; call reset() before reuse)");
-}
-
-void LaneTimedSimulator::runUntil(TimePs horizon) {
-  while (pending_ > 0 && cursor_ < horizon) {
-    drainSlot(cursor_);
-    ++cursor_;
-  }
-  if (cursor_ < horizon) cursor_ = horizon;  // nothing pending: skip ahead
-}
-
-void LaneTimedSimulator::advancePs(TimePs deltaPs) {
-  if (deltaPs < 0) {
-    throw std::invalid_argument("LaneTimedSimulator: negative advance");
-  }
-  // Saturating: a budget of ~0 ("unlimited") must not wrap failAt_.
-  failAt_ = eventCount_ > ~std::uint64_t{0} - budget_
-                ? ~std::uint64_t{0}
-                : eventCount_ + budget_;
-  runUntil(now_ + deltaPs);
-  now_ += deltaPs;
-}
-
-TimePs LaneTimedSimulator::settlePs() {
-  // Saturating: a budget of ~0 ("unlimited") must not wrap failAt_.
-  failAt_ = eventCount_ > ~std::uint64_t{0} - budget_
-                ? ~std::uint64_t{0}
-                : eventCount_ + budget_;
-  TimePs last = now_;
-  while (pending_ > 0) {
-    if (wheel_[cursor_ & wheelMask_].len != 0) last = cursor_;
-    drainSlot(cursor_);
-    ++cursor_;
-  }
-  now_ = std::max(now_, last);
-  cursor_ = now_;  // re-arm: zero-delay events at `now_` must still drain
-  return last;
-}
-
-std::vector<std::uint64_t> LaneTimedSimulator::sampleOutputs() const {
-  std::vector<std::uint64_t> out;
-  sampleOutputsInto(out);
-  return out;
-}
-
-void LaneTimedSimulator::sampleOutputsInto(
-    std::vector<std::uint64_t>& out) const {
-  const auto pos = compiled_->outputNets();
-  out.resize(pos.size());
-  for (std::size_t i = 0; i < pos.size(); ++i) {
-    out[i] = values_[pos[i]];
-  }
-}
-
-LaneClockedSampler::LaneClockedSampler(
-    std::shared_ptr<const CompiledNetlist> compiled,
-    const DelayAnnotation& delays, double periodNs)
-    : sim_(std::move(compiled), delays),
-      periodNs_(periodNs),
-      periodPs_(quantizeSpanPs(periodNs)) {
-  if (periodNs <= 0.0 || periodPs_ <= 0) {
-    throw std::invalid_argument("LaneClockedSampler: period must be positive");
-  }
-}
-
-LaneClockedSampler::LaneClockedSampler(const Netlist& nl,
-                                       const DelayAnnotation& delays,
-                                       double periodNs)
-    : LaneClockedSampler(CompiledNetlist::compile(nl), delays, periodNs) {}
-
-void LaneClockedSampler::initialize(
-    std::span<const std::uint64_t> inputWords) {
-  sim_.applyInputs(inputWords);
-  (void)sim_.settlePs();
-}
-
-void LaneClockedSampler::stepInto(std::span<const std::uint64_t> inputWords,
-                                  std::vector<std::uint64_t>& out) {
-  sim_.applyInputs(inputWords);
-  sim_.advancePs(periodPs_);
-  sim_.sampleOutputsInto(out);
-}
+// The 64-lane reference plus the portable wide fallbacks; intrinsic widths
+// are instantiated only in lane_sim_avx2.cpp / lane_sim_avx512.cpp.
+template class LaneTimedSimulatorT<netlist::LaneBlock<64>>;
+template class LaneTimedSimulatorT<netlist::LaneBlock<256>>;
+template class LaneTimedSimulatorT<netlist::LaneBlock<512>>;
+template class LaneClockedSamplerT<netlist::LaneBlock<64>>;
+template class LaneClockedSamplerT<netlist::LaneBlock<256>>;
+template class LaneClockedSamplerT<netlist::LaneBlock<512>>;
 
 }  // namespace oisa::timing

@@ -1,0 +1,20 @@
+// AVX2 dispatch TU — the only oisa_timing object compiled with -mavx2.
+// Only the LaneBlock<256, Avx2> engine variant may be instantiated here
+// (portable widths are extern-template'd out of this TU).
+#if defined(__AVX2__)
+
+#include "timing/lane_dispatch_impl.h"
+
+namespace oisa::timing::detail {
+
+std::unique_ptr<AnyLaneSampler> makeLaneSamplerAvx2(
+    std::shared_ptr<const netlist::CompiledNetlist> compiled,
+    const DelayAnnotation& delays, double periodNs) {
+  using Block = netlist::LaneBlock<256, netlist::LaneArch::Avx2>;
+  return std::make_unique<LaneSamplerAdapter<Block>>(std::move(compiled),
+                                                     delays, periodNs);
+}
+
+}  // namespace oisa::timing::detail
+
+#endif  // __AVX2__

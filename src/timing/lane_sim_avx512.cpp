@@ -1,0 +1,19 @@
+// AVX-512 dispatch TU — the only oisa_timing object compiled with
+// -mavx512f. Same minimality rule as lane_sim_avx2.cpp.
+#if defined(__AVX512F__)
+
+#include "timing/lane_dispatch_impl.h"
+
+namespace oisa::timing::detail {
+
+std::unique_ptr<AnyLaneSampler> makeLaneSamplerAvx512(
+    std::shared_ptr<const netlist::CompiledNetlist> compiled,
+    const DelayAnnotation& delays, double periodNs) {
+  using Block = netlist::LaneBlock<512, netlist::LaneArch::Avx512>;
+  return std::make_unique<LaneSamplerAdapter<Block>>(std::move(compiled),
+                                                     delays, periodNs);
+}
+
+}  // namespace oisa::timing::detail
+
+#endif  // __AVX512F__

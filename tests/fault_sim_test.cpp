@@ -26,6 +26,8 @@
 #include "timing/delay_annotation.h"
 #include "timing/lane_sim.h"
 
+#include "differential_harness.h"
+
 namespace {
 
 using oisa::fault::CoverageOptions;
@@ -39,57 +41,13 @@ using oisa::netlist::GateKind;
 using oisa::netlist::Netlist;
 using oisa::netlist::NetId;
 
-constexpr const char* kC17 = R"(
-# ISCAS-85 c17 (NAND-only toy benchmark)
-INPUT(1)
-INPUT(2)
-INPUT(3)
-INPUT(6)
-INPUT(7)
-OUTPUT(22)
-OUTPUT(23)
-10 = NAND(1, 3)
-11 = NAND(3, 6)
-16 = NAND(2, 11)
-19 = NAND(11, 7)
-22 = NAND(10, 16)
-23 = NAND(16, 19)
-)";
+using oisa::testing::kC17;
+using oisa::testing::randomWords;
 
-/// Random combinational DAG (same construction as the engine tests).
+/// Harness DAG with this suite's historical 6-output shape (the seeded
+/// rng consumption, and so every netlist below, is unchanged).
 Netlist randomNetlist(std::mt19937_64& rng, int inputCount, int gateCount) {
-  Netlist nl("rand");
-  std::vector<NetId> nets;
-  for (int i = 0; i < inputCount; ++i) {
-    nets.push_back(nl.input("i" + std::to_string(i)));
-  }
-  std::vector<GateKind> kinds;
-  for (const GateKind kind : oisa::netlist::allGateKinds()) {
-    if (oisa::netlist::gateArity(kind) > 0) kinds.push_back(kind);
-  }
-  std::vector<NetId> gateOuts;
-  for (int g = 0; g < gateCount; ++g) {
-    const GateKind kind = kinds[rng() % kinds.size()];
-    std::vector<NetId> ins;
-    for (int a = 0; a < oisa::netlist::gateArity(kind); ++a) {
-      ins.push_back(nets[rng() % nets.size()]);
-    }
-    const NetId out = nl.gate(kind, ins);
-    nets.push_back(out);
-    gateOuts.push_back(out);
-  }
-  for (int o = 0; o < 6; ++o) {
-    nl.output("o" + std::to_string(o), gateOuts[rng() % gateOuts.size()]);
-  }
-  nl.validate();
-  return nl;
-}
-
-std::vector<std::uint64_t> randomWords(std::mt19937_64& rng,
-                                       std::size_t count) {
-  std::vector<std::uint64_t> words(count);
-  for (auto& w : words) w = rng();
-  return words;
+  return oisa::testing::randomNetlist(rng, inputCount, gateCount, 6);
 }
 
 /// Asserts PPSFP detection == serial reference detection for every fault
@@ -195,6 +153,7 @@ TEST(FaultUniverseTest, PrimaryOutputTapsBlockCollapsing) {
 }
 
 TEST(FaultCollapsingTest, EveryMemberMatchesItsRepresentativeOnRandomBlocks) {
+  OISA_TRACE_SEED(2024);
   std::mt19937_64 rng(2024);
   for (int trial = 0; trial < 8; ++trial) {
     const Netlist nl = randomNetlist(rng, 6, 24);
@@ -216,6 +175,7 @@ TEST(FaultCollapsingTest, EveryMemberMatchesItsRepresentativeOnRandomBlocks) {
 }
 
 TEST(PpsfpTest, MatchesSerialReferenceOnRandomNetlists) {
+  OISA_TRACE_SEED(7);
   std::mt19937_64 rng(7);
   for (int trial = 0; trial < 10; ++trial) {
     const Netlist nl = randomNetlist(rng, 6, 30);

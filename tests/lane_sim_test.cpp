@@ -30,6 +30,8 @@
 #include "timing/lane_sim.h"
 #include "timing/sta.h"
 
+#include "differential_harness.h"
+
 namespace {
 
 using oisa::circuits::SynthesizedDesign;
@@ -46,44 +48,8 @@ using oisa::timing::TimePs;
 
 constexpr std::size_t kLanes = LaneTimedSimulator::kLanes;
 
-CellLibrary unitLibrary() {
-  CellLibrary lib;
-  for (const GateKind kind : oisa::netlist::allGateKinds()) {
-    lib.cell(kind) = oisa::timing::CellTiming{1.0, 0.0, 1.0};
-  }
-  lib.cell(GateKind::Const0) = oisa::timing::CellTiming{0.0, 0.0, 0.0};
-  lib.cell(GateKind::Const1) = oisa::timing::CellTiming{0.0, 0.0, 0.0};
-  return lib;
-}
-
-/// Random combinational DAG (acyclic by construction).
-Netlist randomNetlist(std::mt19937_64& rng, int inputCount, int gateCount) {
-  Netlist nl("rand");
-  std::vector<NetId> nets;
-  for (int i = 0; i < inputCount; ++i) {
-    nets.push_back(nl.input("i" + std::to_string(i)));
-  }
-  std::vector<GateKind> kinds;
-  for (const GateKind kind : oisa::netlist::allGateKinds()) {
-    if (oisa::netlist::gateArity(kind) > 0) kinds.push_back(kind);
-  }
-  std::vector<NetId> gateOuts;
-  for (int g = 0; g < gateCount; ++g) {
-    const GateKind kind = kinds[rng() % kinds.size()];
-    std::vector<NetId> ins;
-    for (int a = 0; a < oisa::netlist::gateArity(kind); ++a) {
-      ins.push_back(nets[rng() % nets.size()]);
-    }
-    const NetId out = nl.gate(kind, ins);
-    nets.push_back(out);
-    gateOuts.push_back(out);
-  }
-  for (int o = 0; o < 8; ++o) {
-    nl.output("o" + std::to_string(o), gateOuts[rng() % gateOuts.size()]);
-  }
-  nl.validate();
-  return nl;
-}
+using oisa::testing::randomNetlist;
+using oisa::testing::unitLibrary;
 
 /// Drives one LaneTimedSimulator and 64 scalar TimedSimulators (sharing
 /// the lane engine's compile) through `cycles` clocked cycles of random
@@ -152,6 +118,7 @@ void expectLaneMatchesScalars(const Netlist& nl, const DelayAnnotation& delays,
 }
 
 TEST(LaneSimulatorTest, ExactAgreementOnRandomNetlists) {
+  OISA_TRACE_SEED(404);
   std::mt19937_64 rng(404);
   for (int trial = 0; trial < 6; ++trial) {
     const Netlist nl = randomNetlist(rng, 12, 80);

@@ -22,6 +22,8 @@
 #include "predict/bit_predictor.h"
 #include "predict/features.h"
 
+#include "differential_harness.h"
+
 namespace {
 
 using oisa::ml::Dataset;
@@ -36,21 +38,7 @@ using oisa::predict::FeatureExtractor;
 using oisa::predict::Trace;
 using oisa::predict::TraceRecord;
 
-Dataset randomDataset(std::size_t rows, std::size_t features,
-                      std::uint64_t seed) {
-  // Correlated labels (majority of the first three features, with noise)
-  // so trees grow real structure instead of collapsing to a leaf.
-  Dataset data(features);
-  std::mt19937_64 rng(seed);
-  std::vector<std::uint8_t> row(features);
-  for (std::size_t i = 0; i < rows; ++i) {
-    for (auto& v : row) v = static_cast<std::uint8_t>(rng() & 1);
-    bool label = row[0] + row[1 % features] + row[2 % features] >= 2;
-    if ((rng() % 100) < 10) label = !label;
-    data.addRow(row, label);
-  }
-  return data;
-}
+using oisa::testing::randomDataset;
 
 void expectSameNodes(const DecisionTree& a, const DecisionTree& b) {
   ASSERT_EQ(a.nodes().size(), b.nodes().size());

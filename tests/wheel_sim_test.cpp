@@ -22,6 +22,8 @@
 #include "timing/heap_sim.h"
 #include "timing/sta.h"
 
+#include "differential_harness.h"
+
 namespace {
 
 using oisa::circuits::packOperands;
@@ -34,45 +36,8 @@ using oisa::timing::HeapSimulator;
 using oisa::timing::TimedSimulator;
 using oisa::timing::TimePs;
 
-CellLibrary unitLibrary() {
-  CellLibrary lib;
-  for (const GateKind kind : oisa::netlist::allGateKinds()) {
-    lib.cell(kind) = oisa::timing::CellTiming{1.0, 0.0, 1.0};
-  }
-  lib.cell(GateKind::Const0) = oisa::timing::CellTiming{0.0, 0.0, 0.0};
-  lib.cell(GateKind::Const1) = oisa::timing::CellTiming{0.0, 0.0, 0.0};
-  return lib;
-}
-
-/// Random combinational DAG: every gate reads already-driven nets, so the
-/// result is acyclic by construction.
-Netlist randomNetlist(std::mt19937_64& rng, int inputCount, int gateCount) {
-  Netlist nl("rand");
-  std::vector<NetId> nets;
-  for (int i = 0; i < inputCount; ++i) {
-    nets.push_back(nl.input("i" + std::to_string(i)));
-  }
-  std::vector<GateKind> kinds;
-  for (const GateKind kind : oisa::netlist::allGateKinds()) {
-    if (oisa::netlist::gateArity(kind) > 0) kinds.push_back(kind);
-  }
-  std::vector<NetId> gateOuts;
-  for (int g = 0; g < gateCount; ++g) {
-    const GateKind kind = kinds[rng() % kinds.size()];
-    std::vector<NetId> ins;
-    for (int a = 0; a < oisa::netlist::gateArity(kind); ++a) {
-      ins.push_back(nets[rng() % nets.size()]);
-    }
-    const NetId out = nl.gate(kind, ins);
-    nets.push_back(out);
-    gateOuts.push_back(out);
-  }
-  for (int o = 0; o < 8; ++o) {
-    nl.output("o" + std::to_string(o), gateOuts[rng() % gateOuts.size()]);
-  }
-  nl.validate();
-  return nl;
-}
+using oisa::testing::randomNetlist;
+using oisa::testing::unitLibrary;
 
 std::vector<std::uint8_t> randomInputs(std::mt19937_64& rng,
                                        std::size_t count) {
@@ -138,7 +103,7 @@ TEST(QuantizationTest, SpansRoundUpToThePicosecondGrid) {
 TEST(WheelVsHeapTest, ExactAgreementOnRandomNetlists) {
   std::mt19937_64 rng(101);
   for (int trial = 0; trial < 12; ++trial) {
-    const Netlist nl = randomNetlist(rng, 12, 80);
+    const Netlist nl = randomNetlist(rng, 12, 80, 8);
     DelayAnnotation delays(nl, CellLibrary::generic65());
     // Process-variation jitter produces off-grid double delays, so the
     // shared floor quantization itself is under test.
