@@ -10,8 +10,11 @@
 #include <vector>
 
 #include "circuits/synthesis.h"
+#include "core/status.h"
 #include "experiments/cli.h"
+#include "experiments/grid_scheduler.h"
 #include "experiments/report.h"
+#include "experiments/runner.h"
 #include "timing/cell_library.h"
 
 namespace oisa::bench {
@@ -20,6 +23,22 @@ namespace oisa::bench {
 /// concurrency, the default). Results are bit-identical at any value.
 inline unsigned threadsOption(const experiments::ArgParser& args) {
   return static_cast<unsigned>(args.getU64("threads", 0));
+}
+
+/// Crash-safety CLI surface shared by every grid bench:
+///   --checkpoint=path        snapshot completed cells to `path`
+///   --resume                 adopt an existing snapshot before running
+///   --checkpoint-every=N     autosave cadence in cells (default 8)
+///   --retries=N              per-cell attempts on transient failure
+///   --deadline=S             wall-clock budget in seconds (0 = none)
+/// Resumed campaigns are byte-identical to uninterrupted ones.
+inline void applyRobustnessOptions(const experiments::ArgParser& args,
+                                   experiments::RunOptions& run) {
+  run.checkpoint.path = args.getString("checkpoint", "");
+  run.checkpoint.resume = args.getBool("resume", false);
+  run.checkpoint.everyCells = args.getU64("checkpoint-every", 8);
+  run.cellAttempts = static_cast<unsigned>(args.getU64("retries", 1));
+  run.deadlineSeconds = args.getDouble("deadline", 0.0);
 }
 
 /// Minimal machine-readable bench emitter: one flat JSON object per file,
@@ -80,6 +99,38 @@ inline int finishSpeedupBench(BenchJson& json,
     return EXIT_FAILURE;
   }
   return EXIT_SUCCESS;
+}
+
+/// Top-level error boundary for the bench mains: runs `body` and turns
+/// typed failures into a readable report + EXIT_FAILURE instead of an
+/// unhandled-exception abort. GridError gets the full per-cell breakdown
+/// (cell index, cause, attempts) so a failed campaign is diagnosable
+/// from the log alone.
+template <typename Fn>
+int runGuarded(Fn&& body) {
+  try {
+    return body();
+  } catch (const experiments::GridError& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    for (const auto& f : e.failures()) {
+      std::cerr << "  cell " << f.cell << ": " << f.status.toString()
+                << " (after " << f.attempts << " attempt"
+                << (f.attempts == 1 ? "" : "s") << ")\n";
+    }
+    if (e.cancelled()) {
+      std::cerr << "  cancelled: " << e.cellsNotRun()
+                << " cell(s) never claimed\n";
+    }
+    std::cerr << "(completed cells are in the checkpoint when --checkpoint "
+                 "was given; rerun with --resume)\n";
+    return EXIT_FAILURE;
+  } catch (const core::StatusError& e) {
+    std::cerr << "error: " << e.status().toString() << '\n';
+    return EXIT_FAILURE;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return EXIT_FAILURE;
+  }
 }
 
 /// Paper CPR points (percent of the 0.3 ns sign-off period).

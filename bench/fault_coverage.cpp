@@ -7,7 +7,9 @@
 //
 // Usage: fault_coverage [--cycles=N] [--seed=S] [--workload=uniform]
 //                       [--cpr=15] [--timed-cycles=N] [--timed-faults=N]
-//                       [--threads=N] [--relax] [--csv=path]
+//                       [--threads=N] [--relax] [--checkpoint=path]
+//                       [--resume] [--checkpoint-every=N] [--retries=N]
+//                       [--deadline=S] [--csv=path]
 #include <iostream>
 
 #include "experiments/fault_scan.h"
@@ -18,6 +20,7 @@
 
 int main(int argc, char** argv) {
   using namespace oisa;
+  return bench::runGuarded([&]() -> int {
   const experiments::ArgParser args(argc, argv);
   const auto designs = bench::synthesizeAll(args);
 
@@ -26,6 +29,7 @@ int main(int argc, char** argv) {
   options.run.seed = args.getU64("seed", 42);
   options.run.workload = args.getString("workload", "uniform");
   options.run.threads = bench::threadsOption(args);
+  bench::applyRobustnessOptions(args, options.run);
   options.cprPercent = args.getDouble("cpr", 15.0);
   options.timedCycles = args.getU64("timed-cycles", 8192);
   options.timedFaults =
@@ -83,4 +87,5 @@ int main(int argc, char** argv) {
     std::cout << "\n(csv written to " << csvPath << ")\n";
   }
   return 0;
+  });
 }

@@ -4,13 +4,15 @@
 //
 // Usage: fig7_abper [--train-cycles=N] [--test-cycles=N] [--trees=T]
 //                   [--depth=D] [--seed=S] [--relax] [--threads=N]
-//                   [--csv=path]
+//                   [--checkpoint=path] [--resume] [--checkpoint-every=N]
+//                   [--retries=N] [--deadline=S] [--csv=path]
 #include "experiments/runner.h"
 
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
   using namespace oisa;
+  return bench::runGuarded([&]() -> int {
   const experiments::ArgParser args(argc, argv);
   const auto designs = bench::synthesizeAll(args);
 
@@ -19,6 +21,7 @@ int main(int argc, char** argv) {
   options.testCycles = args.getU64("test-cycles", 3000);
   options.run.seed = args.getU64("seed", 42);
   options.run.threads = bench::threadsOption(args);
+  bench::applyRobustnessOptions(args, options.run);
   options.predictor.forest.treeCount = args.getU64("trees", 10);
   options.predictor.forest.tree.maxDepth =
       static_cast<int>(args.getU64("depth", 10));
@@ -46,4 +49,5 @@ int main(int argc, char** argv) {
   }
   bench::emit(table, args);
   return 0;
+  });
 }

@@ -5,7 +5,9 @@
 //
 // Usage: fig9_error_combination [--cycles=N] [--seed=S] [--relax]
 //                               [--workload=uniform] [--threads=N]
-//                               [--csv=path]
+//                               [--checkpoint=path] [--resume]
+//                               [--checkpoint-every=N] [--retries=N]
+//                               [--deadline=S] [--csv=path]
 #include "experiments/runner.h"
 #include "experiments/trace_collector.h"
 
@@ -13,6 +15,7 @@
 
 int main(int argc, char** argv) {
   using namespace oisa;
+  return bench::runGuarded([&]() -> int {
   const experiments::ArgParser args(argc, argv);
   const auto designs = bench::synthesizeAll(args);
 
@@ -21,6 +24,7 @@ int main(int argc, char** argv) {
   options.seed = args.getU64("seed", 42);
   options.threads = bench::threadsOption(args);
   options.workload = args.getString("workload", "uniform");
+  bench::applyRobustnessOptions(args, options);
 
   const auto rows =
       runErrorCombination(designs, bench::paperCprs(), options);
@@ -68,4 +72,5 @@ int main(int argc, char** argv) {
     std::cout << "(csv written to " << path << ")\n";
   }
   return 0;
+  });
 }

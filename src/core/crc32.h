@@ -1,0 +1,59 @@
+// oisa_core: CRC-32 (ISO-HDLC / zlib polynomial 0xEDB88320).
+//
+// Integrity guard for the on-disk artifacts that must detect silent
+// corruption — campaign checkpoints and serialized models. A single
+// flipped bit anywhere in the guarded bytes changes the checksum, which
+// the loaders report as StatusCode::Corruption so callers can fall back
+// to recompute instead of consuming garbage.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace oisa::core {
+
+namespace detail {
+
+consteval std::array<std::uint32_t, 256> makeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = makeCrc32Table();
+
+}  // namespace detail
+
+/// Streaming update: feed chunks with `crc = crc32Update(crc, chunk)`,
+/// starting from crc32Init().
+[[nodiscard]] constexpr std::uint32_t crc32Init() noexcept {
+  return 0xFFFFFFFFu;
+}
+
+[[nodiscard]] constexpr std::uint32_t crc32Update(
+    std::uint32_t crc, std::string_view bytes) noexcept {
+  for (const char ch : bytes) {
+    crc = detail::kCrc32Table[(crc ^ static_cast<std::uint8_t>(ch)) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc;
+}
+
+[[nodiscard]] constexpr std::uint32_t crc32Final(std::uint32_t crc) noexcept {
+  return crc ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of `bytes`.
+[[nodiscard]] constexpr std::uint32_t crc32(std::string_view bytes) noexcept {
+  return crc32Final(crc32Update(crc32Init(), bytes));
+}
+
+}  // namespace oisa::core

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
+#include <optional>
 #include <thread>
 
 #include "core/error_model.h"
+#include "core/fault_inject.h"
 #include "core/isa_adder.h"
 #include "experiments/grid_scheduler.h"
 #include "experiments/trace_collector.h"
@@ -185,6 +188,44 @@ double measureTimedRelJoint(
   return combo.relJoint().rms();
 }
 
+std::string encodeFaultScanRow(const FaultScanRow& row) {
+  PayloadWriter w;
+  w.str(row.design);
+  w.u64(row.universeFaults);
+  w.u64(row.collapsedClasses);
+  w.u64(row.detectedClasses);
+  w.f64(row.coveragePercent);
+  w.u64(row.patterns);
+  w.f64(row.cprPercent);
+  w.f64(row.periodNs);
+  w.f64(row.rmsRelJointHealthy);
+  w.f64(row.rmsRelJointFaulty);
+  w.f64(row.eJointShift);
+  w.f64(row.worstRelJointFaulty);
+  w.u64(row.timedFaultsMeasured);
+  return w.take();
+}
+
+std::optional<FaultScanRow> decodeFaultScanRow(const std::string& payload) {
+  PayloadReader r{payload};
+  FaultScanRow row;
+  row.design = r.str();
+  row.universeFaults = r.u64();
+  row.collapsedClasses = r.u64();
+  row.detectedClasses = r.u64();
+  row.coveragePercent = r.f64();
+  row.patterns = r.u64();
+  row.cprPercent = r.f64();
+  row.periodNs = r.f64();
+  row.rmsRelJointHealthy = r.f64();
+  row.rmsRelJointFaulty = r.f64();
+  row.eJointShift = r.f64();
+  row.worstRelJointFaulty = r.f64();
+  row.timedFaultsMeasured = r.u64();
+  if (!r.ok() || !r.atEnd()) return std::nullopt;
+  return row;
+}
+
 }  // namespace
 
 std::vector<FaultScanRow> runFaultErrorScan(
@@ -198,8 +239,40 @@ std::vector<FaultScanRow> runFaultErrorScan(
   workers = static_cast<unsigned>(
       std::min<std::size_t>(workers, std::max<std::size_t>(designs.size(), 1)));
   GridScheduler pool(workers);
-  pool.run(designs.size(), [&](std::size_t d) {
+  CancelToken cancel;
+  RunPolicy policy;
+  policy.maxAttempts = std::max(options.run.cellAttempts, 1u);
+  policy.retryBackoff = std::chrono::milliseconds(options.run.retryBackoffMs);
+  if (options.run.deadlineSeconds > 0.0) {
+    cancel.setTimeout(std::chrono::nanoseconds(
+        static_cast<std::int64_t>(options.run.deadlineSeconds * 1e9)));
+    policy.cancel = &cancel;
+  }
+  CampaignFingerprint fp("runFaultErrorScan");
+  fp.mix(static_cast<std::uint64_t>(designs.size()));
+  for (const auto& design : designs) {
+    fp.mix(design.config.name());
+    fp.mix(static_cast<std::uint64_t>(design.netlist.gateCount()));
+  }
+  fp.mix(options.run.cycles);
+  fp.mix(options.run.seed);
+  fp.mix(options.run.workload);
+  fp.mix(options.run.signOffPeriodNs);
+  fp.mix(options.cprPercent);
+  fp.mix(options.timedCycles);
+  fp.mix(static_cast<std::uint64_t>(options.timedFaults));
+  CampaignCheckpoint ckpt(options.run.checkpoint, fp.digest(),
+                          designs.size());
+  const auto scanCell = [&](std::size_t d) {
     const circuits::SynthesizedDesign& design = designs[d];
+    if (const auto payload = ckpt.tryLoad(d)) {
+      if (auto row = decodeFaultScanRow(*payload)) {
+        rows[d] = *std::move(row);
+        return;
+      }
+    }
+    core::fault_inject::maybeThrow(core::fault_inject::kGridCell,
+                                   core::StatusCode::IoError);
     const int width = design.config.width;
     const auto compiled = netlist::CompiledNetlist::compile(design.netlist);
     // packStimulusBlock assumes the adder port convention (a0..aN-1,
@@ -295,8 +368,16 @@ std::vector<FaultScanRow> runFaultErrorScan(
       row.rmsRelJointFaulty = sum / static_cast<double>(sample.size());
       row.eJointShift = row.rmsRelJointFaulty - row.rmsRelJointHealthy;
     }
+    ckpt.commit(d, encodeFaultScanRow(row));
     rows[d] = std::move(row);
-  });
+  };
+  try {
+    pool.run(designs.size(), scanCell, policy);
+  } catch (...) {
+    (void)ckpt.finish();  // persist the surviving designs' rows
+    throw;
+  }
+  (void)ckpt.finish();
   return rows;
 }
 

@@ -1,8 +1,43 @@
 #include "experiments/grid_scheduler.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace oisa::experiments {
+
+namespace {
+
+std::string buildGridErrorMessage(const std::vector<CellFailure>& failures,
+                                  bool cancelled, std::size_t cellsNotRun) {
+  std::string msg = "GridScheduler: ";
+  if (!failures.empty()) {
+    msg += std::to_string(failures.size()) + " cell(s) failed";
+    msg += " (first: cell " + std::to_string(failures.front().cell) + ": " +
+           failures.front().status.toString() + ")";
+  }
+  if (cancelled) {
+    if (!failures.empty()) msg += "; ";
+    msg += "cancelled with " + std::to_string(cellsNotRun) +
+           " cell(s) never claimed";
+  }
+  return msg;
+}
+
+/// Retry unless the taxonomy says the failure cannot be transient.
+bool isRetryable(const core::Status& status) noexcept {
+  return status.code() != core::StatusCode::InvalidInput &&
+         status.code() != core::StatusCode::Deadline;
+}
+
+}  // namespace
+
+GridError::GridError(std::vector<CellFailure> failures, bool cancelled,
+                     std::size_t cellsNotRun)
+    : std::runtime_error(
+          buildGridErrorMessage(failures, cancelled, cellsNotRun)),
+      failures_(std::move(failures)),
+      cancelled_(cancelled),
+      cellsNotRun_(cellsNotRun) {}
 
 GridScheduler::GridScheduler(unsigned threads) {
   unsigned n = threads == 0 ? std::thread::hardware_concurrency() : threads;
@@ -23,16 +58,56 @@ GridScheduler::~GridScheduler() {
   for (std::thread& t : workers_) t.join();
 }
 
-void GridScheduler::drain() {
-  for (std::size_t i = next_.fetch_add(1); i < count_;
-       i = next_.fetch_add(1)) {
+void GridScheduler::executeCell(std::size_t cell) {
+  const RunPolicy& policy = *policy_;
+  core::Status status;
+  unsigned attempt = 0;
+  for (;;) {
+    ++attempt;
     try {
-      (*task_)(i);
+      (*task_)(cell);
+      return;
+    } catch (const core::StatusError& e) {
+      status = e.status();
+    } catch (const GridError& e) {
+      status = core::Status::internal(e.what());
+    } catch (const std::exception& e) {
+      status = core::Status::internal(e.what());
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (!error_) error_ = std::current_exception();
-      next_.store(count_);  // cancel unclaimed cells
+      status = core::Status::internal("unknown exception");
     }
+    const bool cancelled =
+        policy.cancel != nullptr && policy.cancel->cancelled();
+    if (attempt >= policy.maxAttempts || !isRetryable(status) || cancelled) {
+      break;
+    }
+    if (policy.retryBackoff.count() > 0) {
+      // Exponential backoff, capped at 2^10 periods so a misconfigured
+      // attempt count cannot sleep for hours.
+      const unsigned shift = std::min(attempt - 1, 10u);
+      std::this_thread::sleep_for(policy.retryBackoff * (1u << shift));
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  failures_.push_back(CellFailure{cell, std::move(status), attempt});
+}
+
+void GridScheduler::drain() {
+  const RunPolicy& policy = *policy_;
+  for (;;) {
+    // Prompt cancellation: the token is re-checked before *every* claim,
+    // so no worker picks up new work after it fires (cells already
+    // running finish — cells are the preemption granularity). Checking
+    // before the claim keeps next_ an exact count of claimed-and-run
+    // cells on the cancellation path.
+    if (stopClaims_.load(std::memory_order_relaxed)) break;
+    if (policy.cancel != nullptr && policy.cancel->cancelled()) {
+      stopClaims_.store(true, std::memory_order_relaxed);
+      break;
+    }
+    const std::size_t i = next_.fetch_add(1);
+    if (i >= count_) break;
+    executeCell(i);
   }
 }
 
@@ -51,31 +126,51 @@ void GridScheduler::workerLoop() {
 }
 
 void GridScheduler::run(std::size_t count,
-                        const std::function<void(std::size_t)>& task) {
+                        const std::function<void(std::size_t)>& task,
+                        const RunPolicy& policy) {
   if (count == 0) return;
   if (workers_.empty()) {
-    // Serial degradation: no synchronization, exceptions propagate as-is.
-    for (std::size_t i = 0; i < count; ++i) task(i);
-    return;
-  }
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    // Serial degradation: same claim loop and failure aggregation, no
+    // synchronization overhead beyond the shared code path.
     task_ = &task;
+    policy_ = &policy;
     count_ = count;
     next_.store(0);
-    busy_ = static_cast<unsigned>(workers_.size());
-    error_ = nullptr;
-    ++generation_;
+    stopClaims_.store(false, std::memory_order_relaxed);
+    failures_.clear();
+    drain();
+  } else {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      task_ = &task;
+      policy_ = &policy;
+      count_ = count;
+      next_.store(0);
+      stopClaims_.store(false, std::memory_order_relaxed);
+      failures_.clear();
+      busy_ = static_cast<unsigned>(workers_.size());
+      ++generation_;
+    }
+    wake_.notify_all();
+    drain();  // the calling thread claims cells too
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] { return busy_ == 0; });
   }
-  wake_.notify_all();
-  drain();  // the calling thread claims cells too
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_.wait(lock, [&] { return busy_ == 0; });
   task_ = nullptr;
-  if (error_) {
-    std::exception_ptr e = error_;
-    error_ = nullptr;
-    std::rethrow_exception(e);
+  policy_ = nullptr;
+  const bool cancelled = stopClaims_.load(std::memory_order_relaxed);
+  const std::size_t claimed = std::min(next_.load(), count);
+  if (!failures_.empty() || cancelled) {
+    std::vector<CellFailure> failures = std::move(failures_);
+    failures_.clear();
+    // Deterministic report order regardless of which worker lost the
+    // race to the failures vector.
+    std::sort(failures.begin(), failures.end(),
+              [](const CellFailure& a, const CellFailure& b) {
+                return a.cell < b.cell;
+              });
+    throw GridError(std::move(failures), cancelled,
+                    cancelled ? count - claimed : 0);
   }
 }
 

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <thread>
 
 #include "core/bit_distribution.h"
+#include "core/fault_inject.h"
 #include "core/isa_adder.h"
 #include "experiments/grid_scheduler.h"
 #include "experiments/trace_collector.h"
@@ -21,18 +23,115 @@ std::unique_ptr<Workload> workloadFor(const RunOptions& options, int width,
 }
 
 /// Fans task(0..count-1) out across a GridScheduler pool sized to the
-/// grid (never more workers than cells). Every cell owns its seeded
-/// workload and simulator, so results are bit-identical at any thread
-/// count.
+/// grid (never more workers than cells), applying the RunOptions
+/// failure policy (retry/backoff, wall-clock deadline). Every cell owns
+/// its seeded workload and simulator, so results are bit-identical at
+/// any thread count.
 template <typename Task>
-void runParallel(std::size_t count, unsigned threads, Task&& task) {
-  unsigned workers =
-      threads == 0 ? std::thread::hardware_concurrency() : threads;
+void runParallel(std::size_t count, const RunOptions& options, Task&& task) {
+  unsigned workers = options.threads == 0
+                         ? std::thread::hardware_concurrency()
+                         : options.threads;
   if (workers == 0) workers = 1;
   workers = static_cast<unsigned>(
       std::min<std::size_t>(workers, std::max<std::size_t>(count, 1)));
   GridScheduler pool(workers);
-  pool.run(count, task);
+  CancelToken cancel;
+  RunPolicy policy;
+  policy.maxAttempts = std::max(options.cellAttempts, 1u);
+  policy.retryBackoff = std::chrono::milliseconds(options.retryBackoffMs);
+  if (options.deadlineSeconds > 0.0) {
+    cancel.setTimeout(std::chrono::nanoseconds(
+        static_cast<std::int64_t>(options.deadlineSeconds * 1e9)));
+    policy.cancel = &cancel;
+  }
+  pool.run(count, task, policy);
+}
+
+/// Everything every campaign fingerprint depends on: the cell grid
+/// (design identities × CPR points) and the shared run controls. Thread
+/// count and checkpoint controls are deliberately absent — they do not
+/// change any cell's value.
+CampaignFingerprint baseFingerprint(
+    std::string_view pipeline,
+    const std::vector<circuits::SynthesizedDesign>& designs,
+    std::span<const double> cprPercents, const RunOptions& options) {
+  CampaignFingerprint fp(pipeline);
+  fp.mix(static_cast<std::uint64_t>(designs.size()));
+  for (const auto& design : designs) {
+    fp.mix(design.config.name());
+    fp.mix(static_cast<std::uint64_t>(design.netlist.gateCount()));
+  }
+  fp.mix(static_cast<std::uint64_t>(cprPercents.size()));
+  for (const double cpr : cprPercents) fp.mix(cpr);
+  fp.mix(options.cycles);
+  fp.mix(options.seed);
+  fp.mix(options.workload);
+  fp.mix(options.signOffPeriodNs);
+  return fp;
+}
+
+// --- checkpoint payload codecs -----------------------------------------
+// Doubles travel as bit patterns (PayloadWriter::f64), so a resumed row
+// is byte-for-byte the row the interrupted run computed.
+
+std::string encodeCombinationRow(const CombinationRow& row) {
+  PayloadWriter w;
+  w.str(row.design);
+  w.f64(row.cprPercent);
+  w.f64(row.periodNs);
+  w.f64(row.rmsRelStruct);
+  w.f64(row.rmsRelTiming);
+  w.f64(row.rmsRelJoint);
+  w.f64(row.meanAbsJointArith);
+  w.f64(row.structErrorRate);
+  w.f64(row.timingErrorRate);
+  w.u64(row.cycles);
+  return w.take();
+}
+
+std::optional<CombinationRow> decodeCombinationRow(
+    const std::string& payload) {
+  PayloadReader r{payload};
+  CombinationRow row;
+  row.design = r.str();
+  row.cprPercent = r.f64();
+  row.periodNs = r.f64();
+  row.rmsRelStruct = r.f64();
+  row.rmsRelTiming = r.f64();
+  row.rmsRelJoint = r.f64();
+  row.meanAbsJointArith = r.f64();
+  row.structErrorRate = r.f64();
+  row.timingErrorRate = r.f64();
+  row.cycles = r.u64();
+  if (!r.ok() || !r.atEnd()) return std::nullopt;
+  return row;
+}
+
+std::string encodePredictionRow(const PredictionRow& row) {
+  PayloadWriter w;
+  w.str(row.design);
+  w.f64(row.cprPercent);
+  w.f64(row.periodNs);
+  w.f64(row.abper);
+  w.f64(row.avpe);
+  w.u64(row.trainCycles);
+  w.u64(row.testCycles);
+  return w.take();
+}
+
+std::optional<PredictionRow> decodePredictionRow(const std::string& payload) {
+  PayloadReader r{payload};
+  PredictionRow row;
+  row.design = r.str();
+  row.cprPercent = r.f64();
+  row.periodNs = r.f64();
+  row.abper = r.f64();
+  row.avpe = r.f64();
+  row.trainCycles = r.u64();
+  row.testCycles = r.u64();
+  if (!r.ok() || !r.atEnd()) return std::nullopt;
+  return row;
 }
 
 }  // namespace
@@ -42,10 +141,26 @@ std::vector<CombinationRow> runErrorCombination(
     std::span<const double> cprPercents, const RunOptions& options) {
   const std::size_t points = designs.size() * cprPercents.size();
   std::vector<CombinationRow> rows(points);
-  runParallel(points, options.threads, [&](std::size_t point) {
+  CampaignCheckpoint ckpt(
+      options.checkpoint,
+      baseFingerprint("runErrorCombination", designs, cprPercents, options)
+          .digest(),
+      points);
+  const auto sweep = [&](std::size_t point) {
     const circuits::SynthesizedDesign& design =
         designs[point / cprPercents.size()];
     const double cpr = cprPercents[point % cprPercents.size()];
+    if (const auto payload = ckpt.tryLoad(point)) {
+      if (auto row = decodeCombinationRow(*payload)) {
+        rows[point] = *std::move(row);
+        return;
+      }
+    }
+    // Injection site sits *after* the resume fast path, so a plan like
+    // "grid.cell:*" makes any recomputation fail — resuming a complete
+    // checkpoint under it proves cells were loaded, not recomputed.
+    core::fault_inject::maybeThrow(core::fault_inject::kGridCell,
+                                   core::StatusCode::IoError);
     const double period = overclockedPeriodNs(options.signOffPeriodNs, cpr);
     // Same workload seed across designs and CPRs so every design sees the
     // same stimulus, as in the paper's common random sample. The lane
@@ -73,8 +188,16 @@ std::vector<CombinationRow> runErrorCombination(
     row.structErrorRate = combo.arithStruct().errorRate();
     row.timingErrorRate = combo.arithTiming().errorRate();
     row.cycles = combo.cycles();
+    ckpt.commit(point, encodeCombinationRow(row));
     rows[point] = std::move(row);
-  });
+  };
+  try {
+    runParallel(points, options, sweep);
+  } catch (...) {
+    (void)ckpt.finish();  // persist the surviving cells before surfacing
+    throw;
+  }
+  (void)ckpt.finish();
   return rows;
 }
 
@@ -83,10 +206,28 @@ std::vector<PredictionRow> runPredictionEvaluation(
     std::span<const double> cprPercents, const PredictionOptions& options) {
   const std::size_t points = designs.size() * cprPercents.size();
   std::vector<PredictionRow> rows(points);
-  runParallel(points, options.run.threads, [&](std::size_t point) {
+  CampaignFingerprint fp = baseFingerprint("runPredictionEvaluation", designs,
+                                           cprPercents, options.run);
+  fp.mix(options.trainCycles);
+  fp.mix(options.testCycles);
+  fp.mix(static_cast<std::uint64_t>(options.predictor.model));
+  fp.mix(std::uint64_t{options.predictor.includeOutputBits ? 1u : 0u});
+  fp.mix(options.predictor.seed);
+  fp.mix(static_cast<std::uint64_t>(options.predictor.forest.treeCount));
+  fp.mix(static_cast<std::uint64_t>(options.predictor.forest.tree.maxDepth));
+  CampaignCheckpoint ckpt(options.run.checkpoint, fp.digest(), points);
+  const auto sweep = [&](std::size_t point) {
     const circuits::SynthesizedDesign& design =
         designs[point / cprPercents.size()];
     const double cpr = cprPercents[point % cprPercents.size()];
+    if (const auto payload = ckpt.tryLoad(point)) {
+      if (auto row = decodePredictionRow(*payload)) {
+        rows[point] = *std::move(row);
+        return;
+      }
+    }
+    core::fault_inject::maybeThrow(core::fault_inject::kGridCell,
+                                   core::StatusCode::IoError);
     const double period =
         overclockedPeriodNs(options.run.signOffPeriodNs, cpr);
     // Train and test stimuli come from differently-seeded streams. One
@@ -120,8 +261,16 @@ std::vector<PredictionRow> runPredictionEvaluation(
     row.avpe = eval.avpe;
     row.trainCycles = options.trainCycles;
     row.testCycles = eval.cycles;
+    ckpt.commit(point, encodePredictionRow(row));
     rows[point] = std::move(row);
-  });
+  };
+  try {
+    runParallel(points, options.run, sweep);
+  } catch (...) {
+    (void)ckpt.finish();
+    throw;
+  }
+  (void)ckpt.finish();
   return rows;
 }
 
@@ -178,7 +327,7 @@ std::vector<FunctionalScanRow> runFunctionalErrorScan(
     const RunOptions& options) {
   constexpr std::size_t kLanes = netlist::BatchEvaluator::kLanes;
   std::vector<FunctionalScanRow> rows(designs.size());
-  runParallel(designs.size(), options.threads, [&](std::size_t d) {
+  runParallel(designs.size(), options, [&](std::size_t d) {
     const circuits::SynthesizedDesign& design = designs[d];
     const int width = design.config.width;
     const core::IsaAdder behavioral(design.config);

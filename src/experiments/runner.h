@@ -10,6 +10,7 @@
 
 #include "circuits/synthesis.h"
 #include "core/error_model.h"
+#include "experiments/checkpoint.h"
 #include "experiments/workload.h"
 #include "predict/bit_predictor.h"
 
@@ -25,6 +26,20 @@ struct RunOptions {
   /// Results are bit-identical regardless of the thread count (each point
   /// owns its seeded workload and simulator).
   unsigned threads = 0;
+  /// Crash-safety: when checkpoint.path is set, completed grid cells are
+  /// snapshotted there (atomically, every checkpoint.everyCells cells)
+  /// and checkpoint.resume skips cells the snapshot already holds —
+  /// resumed campaigns are byte-identical to uninterrupted ones because
+  /// every cell is a pure function of (inputs, seed).
+  CheckpointOptions checkpoint;
+  /// Per-cell tries (1 = no retry); transient failures (IoError, ...)
+  /// are retried with exponential backoff, then aggregated in GridError.
+  unsigned cellAttempts = 1;
+  std::uint64_t retryBackoffMs = 100;  ///< base backoff between tries
+  /// Wall-clock budget for the whole grid; 0 = unlimited. On expiry the
+  /// sweep stops claiming cells and throws GridError (completed cells
+  /// are already checkpointed when checkpointing is on).
+  double deadlineSeconds = 0.0;
 };
 
 /// One (design, CPR) row of the Fig. 9 study.

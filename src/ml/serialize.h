@@ -1,20 +1,40 @@
 // oisa_ml: text serialization of trained models.
 //
-// Simple line-oriented format so trained timing-error models can be saved
-// next to a synthesized design and reloaded without retraining.
+// Line-oriented bodies (human-diffable, as before) wrapped in an
+// integrity envelope so trained timing-error models can be saved next to
+// a synthesized design and reloaded without retraining — and so a rotted
+// or truncated model file is *detected*, never silently half-loaded:
+//
+//   oisamodel <version> <bodyBytes> <crc32-hex>\n
+//   <body: "tree N" / "forest N" lines exactly as version 0 wrote them>
+//
+// The loader verifies magic, version, exact body length and CRC-32
+// before parsing a single node; flipping any byte of a saved model makes
+// loading fail with StatusCode::Corruption. Multiple envelopes
+// concatenate cleanly on one stream (the bit-level predictor stores one
+// forest per output bit that way).
 #pragma once
 
 #include <iosfwd>
 
+#include "core/status.h"
 #include "ml/decision_tree.h"
 #include "ml/random_forest.h"
 
 namespace oisa::ml {
 
 void saveTree(const DecisionTree& tree, std::ostream& os);
-[[nodiscard]] DecisionTree loadTree(std::istream& is);
-
 void saveForest(const RandomForest& forest, std::ostream& os);
+
+/// Status-returning loaders: Corruption for any integrity failure
+/// (bad magic/version, truncation, checksum mismatch, malformed or
+/// out-of-range node data), IoError for stream read failures.
+[[nodiscard]] core::StatusOr<DecisionTree> readTree(std::istream& is);
+[[nodiscard]] core::StatusOr<RandomForest> readForest(std::istream& is);
+
+/// Throwing convenience wrappers (raise core::StatusError, which is-a
+/// std::runtime_error, so pre-Status callers keep working unchanged).
+[[nodiscard]] DecisionTree loadTree(std::istream& is);
 [[nodiscard]] RandomForest loadForest(std::istream& is);
 
 }  // namespace oisa::ml

@@ -9,6 +9,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/fault_inject.h"
+
 namespace oisa::netlist {
 
 namespace {
@@ -34,8 +36,8 @@ std::string upper(std::string value) {
 }
 
 [[noreturn]] void fail(std::size_t line, const std::string& message) {
-  throw std::runtime_error("readBench: line " + std::to_string(line) + ": " +
-                           message);
+  throw core::StatusError(core::Status::invalidInput(
+      "readBench: line " + std::to_string(line) + ": " + message));
 }
 
 /// One `lhs = OP(args...)` statement, unresolved.
@@ -301,6 +303,11 @@ Netlist readBench(std::istream& in, std::string topName) {
     Definition def;
     def.op = callName;
     def.args = splitArgs(payload, lineNo);
+    if (def.args.size() > kMaxGateArity) {
+      fail(lineNo, "gate '" + lhs + "' has absurd fan-in " +
+                       std::to_string(def.args.size()) + " (limit " +
+                       std::to_string(kMaxGateArity) + ")");
+    }
     def.line = lineNo;
     builder.addDefinition(lhs, std::move(def));
   }
@@ -313,11 +320,44 @@ Netlist readBenchString(std::string_view text, std::string topName) {
 }
 
 Netlist readBenchFile(const std::string& path) {
+  core::fault_inject::maybeThrow(core::fault_inject::kFileOpen,
+                                 core::StatusCode::IoError);
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("readBenchFile: cannot open " + path);
+    throw core::StatusError(
+        core::Status::ioError("readBenchFile: cannot open " + path));
   }
   return readBench(in, path);
+}
+
+core::StatusOr<Netlist> readBenchStatus(std::istream& in,
+                                        std::string topName) {
+  try {
+    return readBench(in, std::move(topName));
+  } catch (const core::StatusError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    // Netlist::validate and the builder throw plain exceptions for
+    // structural violations; on this boundary they are still a property
+    // of the input text.
+    return core::Status::invalidInput(std::string("readBench: ") + e.what());
+  }
+}
+
+core::StatusOr<Netlist> readBenchStringStatus(std::string_view text,
+                                              std::string topName) {
+  std::istringstream in{std::string(text)};
+  return readBenchStatus(in, std::move(topName));
+}
+
+core::StatusOr<Netlist> readBenchFileStatus(const std::string& path) {
+  try {
+    return readBenchFile(path);
+  } catch (const core::StatusError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    return core::Status::invalidInput(std::string("readBench: ") + e.what());
+  }
 }
 
 }  // namespace oisa::netlist

@@ -22,14 +22,33 @@
 #include <string>
 #include <string_view>
 
+#include "core/status.h"
 #include "netlist/netlist.h"
 
 namespace oisa::netlist {
 
-/// Parses a `.bench`-format circuit from a stream. Throws
-/// std::runtime_error with a line-numbered diagnostic on malformed
-/// input, undefined or duplicated signals, unsupported cells, or a
-/// combinational cycle.
+/// Hard ceiling on a single cell's fan-in. Real benchmark circuits top
+/// out around a few dozen; anything wider is a corrupt or adversarial
+/// file, and rejecting it up front keeps the arity-reduction loop from
+/// materializing millions of gates.
+inline constexpr std::size_t kMaxGateArity = 4096;
+
+/// Status-returning parsers: every malformed input — bad syntax,
+/// undefined/duplicated signals, unsupported or sequential cells,
+/// combinational cycles, absurd gate widths, binary garbage — comes back
+/// as StatusCode::InvalidInput with a line-numbered diagnostic; file
+/// open/read failures as IoError. No malformed byte stream crashes or
+/// throws past these.
+[[nodiscard]] core::StatusOr<Netlist> readBenchStatus(
+    std::istream& in, std::string topName = "bench");
+[[nodiscard]] core::StatusOr<Netlist> readBenchStringStatus(
+    std::string_view text, std::string topName = "bench");
+[[nodiscard]] core::StatusOr<Netlist> readBenchFileStatus(
+    const std::string& path);
+
+/// Throwing convenience wrappers over the Status parsers (they raise
+/// core::StatusError, which is-a std::runtime_error, so pre-Status
+/// callers keep working unchanged).
 [[nodiscard]] Netlist readBench(std::istream& in,
                                 std::string topName = "bench");
 

@@ -6,7 +6,10 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
+#include <string_view>
 
+#include "core/status.h"
 #include "netlist/netlist.h"
 
 namespace oisa::netlist {
@@ -18,5 +21,21 @@ void writeVerilog(const Netlist& nl, std::ostream& os);
 /// Sanitizes an arbitrary name into a Verilog identifier (used for the
 /// module name and all nets; exposed for tests).
 [[nodiscard]] std::string verilogIdentifier(const std::string& name);
+
+/// Parses the structural subset writeVerilog emits — one module of
+/// `input wire` / `output wire` scalar ports, `wire` declarations and
+/// `assign` statements over `~ & | ^ ?:` expressions and 1'b0/1'b1
+/// literals — back into a Netlist. Gate decomposition is structural
+/// (`~(a & b)` becomes Inv(And2), not Nand2), so round-trips are checked
+/// with functional equivalence, not gate-count identity.
+///
+/// Every malformed input returns StatusCode::InvalidInput with a
+/// line-numbered diagnostic: unterminated statements, duplicate net
+/// definitions, nets assigned twice, self-referential (cyclic) assigns,
+/// undefined nets, unsupported syntax, binary garbage. File variants
+/// return IoError when the file cannot be opened.
+[[nodiscard]] core::StatusOr<Netlist> readVerilog(std::istream& in);
+[[nodiscard]] core::StatusOr<Netlist> readVerilogString(std::string_view text);
+[[nodiscard]] core::StatusOr<Netlist> readVerilogFile(const std::string& path);
 
 }  // namespace oisa::netlist

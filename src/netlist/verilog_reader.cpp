@@ -1,0 +1,528 @@
+// oisa_netlist: structural Verilog importer — the inverse of
+// writeVerilog, closing the export/import round-trip so externally
+// edited or tool-processed modules can come back into the repo's IR.
+//
+// The accepted grammar is the writer's output subset:
+//
+//   module NAME ( input wire a, ..., output wire y, ... );
+//     wire n1;             // one or more, comma lists allowed
+//     assign n1 = expr;    // ~ & | ^ ?: over nets and 1'b0 / 1'b1
+//     assign y = n1;
+//   endmodule
+//
+// with `//` line and `/* */` block comments. Assignments may appear in
+// any order (resolution is demand-driven with cycle detection, like the
+// .bench importer). Everything outside the subset is a line-numbered
+// InvalidInput Status — this parser is a robustness boundary, so it
+// must diagnose, never crash, on arbitrary bytes.
+#include "netlist/verilog.h"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/fault_inject.h"
+
+namespace oisa::netlist {
+
+namespace {
+
+using core::Status;
+using core::StatusError;
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw StatusError(Status::invalidInput(
+      "readVerilog: line " + std::to_string(line) + ": " + message));
+}
+
+// --- tokenizer --------------------------------------------------------
+
+struct Token {
+  enum Kind { Ident, Literal, Punct, End } kind = End;
+  std::string text;      // identifier name, or literal/punct spelling
+  bool literalValue = false;
+  std::size_t line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skipSpaceAndComments();
+    Token tok;
+    tok.line = line_;
+    if (pos_ >= text_.size()) return tok;  // End
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+        c == '$') {
+      tok.kind = Token::Ident;
+      while (pos_ < text_.size() && isIdentChar(text_[pos_])) {
+        tok.text += text_[pos_++];
+      }
+      return tok;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      // Only the two single-bit literals exist in the subset.
+      if (text_.substr(pos_, 4) == "1'b0" || text_.substr(pos_, 4) == "1'B0") {
+        tok.kind = Token::Literal;
+        tok.literalValue = false;
+        pos_ += 4;
+        return tok;
+      }
+      if (text_.substr(pos_, 4) == "1'b1" || text_.substr(pos_, 4) == "1'B1") {
+        tok.kind = Token::Literal;
+        tok.literalValue = true;
+        pos_ += 4;
+        return tok;
+      }
+      fail(line_, "unsupported numeric literal (only 1'b0 / 1'b1)");
+    }
+    switch (c) {
+      case '(': case ')': case ';': case ',': case '=':
+      case '~': case '&': case '|': case '^': case '?': case ':':
+        tok.kind = Token::Punct;
+        tok.text = c;
+        ++pos_;
+        return tok;
+      default:
+        break;
+    }
+    fail(line_, std::string("unexpected character '") +
+                    (std::isprint(static_cast<unsigned char>(c)) != 0
+                         ? std::string(1, c)
+                         : "\\x" + toHex(c)) +
+                    "'");
+  }
+
+ private:
+  static bool isIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+           c == '$';
+  }
+
+  static std::string toHex(char c) {
+    static const char* digits = "0123456789abcdef";
+    const auto u = static_cast<unsigned char>(c);
+    return {digits[u >> 4], digits[u & 0xF]};
+  }
+
+  void skipSpaceAndComments() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+        if (text_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (text_.substr(pos_, 2) == "//") {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (text_.substr(pos_, 2) == "/*") {
+        const std::size_t open = line_;
+        pos_ += 2;
+        while (pos_ < text_.size() && text_.substr(pos_, 2) != "*/") {
+          if (text_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        if (pos_ >= text_.size()) fail(open, "unterminated block comment");
+        pos_ += 2;
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+// --- expression AST ---------------------------------------------------
+
+struct Expr {
+  enum Kind { Ref, Const, Not, And, Or, Xor, Mux } kind = Ref;
+  std::string name;       // Ref
+  bool value = false;     // Const
+  std::size_t line = 0;
+  std::unique_ptr<Expr> a, b, c;  // operands; Mux: a=cond, b=then, c=else
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+ExprPtr makeExpr(Expr::Kind kind, std::size_t line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->line = line;
+  return e;
+}
+
+// --- parser -----------------------------------------------------------
+
+/// One `assign lhs = expr;`, unresolved.
+struct Assign {
+  ExprPtr expr;
+  std::size_t line = 0;
+  bool building = false;  // cycle-detection mark
+  bool built = false;
+  NetId net{};
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : lexer_(text) { advance(); }
+
+  Netlist parse() {
+    expectKeyword("module");
+    const Token name = expectIdent("module name");
+    Netlist nl(name.text);
+    expectPunct("(");
+    parsePortList(nl);
+    expectPunct(")");
+    expectPunct(";");
+    for (;;) {
+      if (tok_.kind == Token::End) {
+        fail(tok_.line, "unterminated module (missing 'endmodule')");
+      }
+      if (isKeyword("endmodule")) {
+        advance();
+        break;
+      }
+      if (isKeyword("wire")) {
+        advance();
+        parseWireDecl();
+        continue;
+      }
+      if (isKeyword("assign")) {
+        advance();
+        parseAssign();
+        continue;
+      }
+      fail(tok_.line, "expected 'wire', 'assign' or 'endmodule', got " +
+                          describe(tok_));
+    }
+    if (tok_.kind != Token::End) {
+      fail(tok_.line, "trailing tokens after 'endmodule'");
+    }
+    return finish(std::move(nl));
+  }
+
+ private:
+  // -- token plumbing --
+  void advance() { tok_ = lexer_.next(); }
+
+  bool isKeyword(std::string_view kw) const {
+    return tok_.kind == Token::Ident && tok_.text == kw;
+  }
+
+  void expectKeyword(const std::string& kw) {
+    if (!isKeyword(kw)) {
+      fail(tok_.line, "expected '" + kw + "', got " + describe(tok_));
+    }
+    advance();
+  }
+
+  Token expectIdent(const std::string& what) {
+    if (tok_.kind != Token::Ident) {
+      fail(tok_.line, "expected " + what + ", got " + describe(tok_));
+    }
+    Token t = tok_;
+    advance();
+    return t;
+  }
+
+  void expectPunct(const std::string& p) {
+    if (tok_.kind != Token::Punct || tok_.text != p) {
+      fail(tok_.line, "expected '" + p + "', got " + describe(tok_));
+    }
+    advance();
+  }
+
+  bool acceptPunct(const std::string& p) {
+    if (tok_.kind == Token::Punct && tok_.text == p) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  static std::string describe(const Token& t) {
+    switch (t.kind) {
+      case Token::Ident: return "'" + t.text + "'";
+      case Token::Literal: return t.literalValue ? "'1'b1'" : "'1'b0'";
+      case Token::Punct: return "'" + t.text + "'";
+      case Token::End: return "end of input";
+    }
+    return "?";
+  }
+
+  // -- declarations --
+  void parsePortList(Netlist& nl) {
+    bool isInput = false;
+    bool haveDirection = false;
+    while (tok_.kind == Token::Ident) {
+      if (isKeyword("input") || isKeyword("output")) {
+        isInput = isKeyword("input");
+        haveDirection = true;
+        advance();
+        if (isKeyword("wire")) advance();
+      } else if (!haveDirection) {
+        fail(tok_.line, "port '" + tok_.text +
+                            "' needs an input/output direction");
+      }
+      const Token port = expectIdent("port name");
+      declareName(port.text, port.line);
+      if (isInput) {
+        inputs_.emplace(port.text, nl.input(port.text));
+      } else {
+        outputs_.emplace_back(port.text, port.line);
+      }
+      if (!acceptPunct(",")) break;
+    }
+  }
+
+  void parseWireDecl() {
+    for (;;) {
+      const Token wire = expectIdent("wire name");
+      declareName(wire.text, wire.line);
+      wires_.insert(wire.text);
+      if (acceptPunct(",")) continue;
+      expectPunct(";");
+      return;
+    }
+  }
+
+  void parseAssign() {
+    const Token lhs = expectIdent("assignment target");
+    if (inputs_.count(lhs.text) != 0) {
+      fail(lhs.line, "cannot assign to input port '" + lhs.text + "'");
+    }
+    if (declared_.count(lhs.text) == 0) {
+      fail(lhs.line, "assignment to undeclared net '" + lhs.text + "'");
+    }
+    if (assigns_.count(lhs.text) != 0) {
+      fail(lhs.line, "net '" + lhs.text + "' assigned twice");
+    }
+    expectPunct("=");
+    Assign assign;
+    assign.expr = parseTernary();
+    assign.line = lhs.line;
+    expectPunct(";");
+    assignOrder_.push_back(lhs.text);
+    assigns_.emplace(lhs.text, std::move(assign));
+  }
+
+  void declareName(const std::string& name, std::size_t line) {
+    if (!declared_.insert(name).second) {
+      fail(line, "net '" + name + "' declared twice");
+    }
+  }
+
+  // -- expressions (precedence: ?: < | < ^ < & < ~ < primary) --
+  ExprPtr parseTernary() {
+    ExprPtr cond = parseOr();
+    if (!acceptPunct("?")) return cond;
+    auto e = makeExpr(Expr::Mux, cond->line);
+    e->a = std::move(cond);
+    e->b = parseTernary();
+    expectPunct(":");
+    e->c = parseTernary();
+    return e;
+  }
+
+  ExprPtr parseOr() {
+    ExprPtr left = parseXor();
+    while (acceptPunct("|")) {
+      auto e = makeExpr(Expr::Or, left->line);
+      e->a = std::move(left);
+      e->b = parseXor();
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  ExprPtr parseXor() {
+    ExprPtr left = parseAnd();
+    while (acceptPunct("^")) {
+      auto e = makeExpr(Expr::Xor, left->line);
+      e->a = std::move(left);
+      e->b = parseAnd();
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr left = parseUnary();
+    while (acceptPunct("&")) {
+      auto e = makeExpr(Expr::And, left->line);
+      e->a = std::move(left);
+      e->b = parseUnary();
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  ExprPtr parseUnary() {
+    if (acceptPunct("~")) {
+      auto e = makeExpr(Expr::Not, tok_.line);
+      e->a = parseUnary();
+      return e;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    if (acceptPunct("(")) {
+      ExprPtr inner = parseTernary();
+      expectPunct(")");
+      return inner;
+    }
+    if (tok_.kind == Token::Literal) {
+      auto e = makeExpr(Expr::Const, tok_.line);
+      e->value = tok_.literalValue;
+      advance();
+      return e;
+    }
+    if (tok_.kind == Token::Ident) {
+      auto e = makeExpr(Expr::Ref, tok_.line);
+      e->name = tok_.text;
+      advance();
+      return e;
+    }
+    fail(tok_.line, "expected an expression, got " + describe(tok_));
+  }
+
+  // -- netlist construction --
+  Netlist finish(Netlist nl) {
+    nl_ = &nl;
+    for (const std::string& name : assignOrder_) {
+      resolveNet(name, assigns_.find(name)->second.line);
+    }
+    if (outputs_.empty()) fail(1, "module has no output ports");
+    for (const auto& [name, line] : outputs_) {
+      nl.output(name, resolveNet(name, line));
+    }
+    nl.validate();
+    nl_ = nullptr;
+    return nl;
+  }
+
+  /// Demand-driven, order-independent resolution with cycle detection —
+  /// `assign a = b; assign b = a;` is a diagnostic, not a hang. The
+  /// writer's topological output keeps recursion depth at one here;
+  /// hand-written deep chains recurse, bounded by kMaxResolveDepth.
+  NetId resolveNet(const std::string& name, std::size_t fromLine) {
+    if (const auto it = inputs_.find(name); it != inputs_.end()) {
+      return it->second;
+    }
+    const auto it = assigns_.find(name);
+    if (it == assigns_.end()) {
+      fail(fromLine, "net '" + name + "' is never assigned");
+    }
+    Assign& assign = it->second;
+    if (assign.built) return assign.net;
+    if (assign.building) {
+      fail(assign.line, "combinational cycle through '" + name + "'");
+    }
+    if (++depth_ > kMaxResolveDepth) {
+      fail(fromLine, "assignment chain deeper than " +
+                         std::to_string(kMaxResolveDepth));
+    }
+    assign.building = true;
+    assign.net = buildExpr(*assign.expr, name);
+    assign.building = false;
+    assign.built = true;
+    --depth_;
+    return assign.net;
+  }
+
+  NetId buildExpr(const Expr& e, const std::string& name) {
+    Netlist& nl = *nl_;
+    const auto sub = [&](const Expr& child, int index) {
+      if (child.kind == Expr::Ref) return resolveNet(child.name, child.line);
+      return buildExpr(child, name + "$e" + std::to_string(index));
+    };
+    switch (e.kind) {
+      case Expr::Ref: {
+        // `assign y = n;` — an alias; materialize a buffer so `y` is a
+        // distinct named net, matching the .bench importer's BUF.
+        const NetId src = resolveNet(e.name, e.line);
+        return nl.gate1(GateKind::Buf, src, name);
+      }
+      case Expr::Const:
+        return nl.constant(e.value);
+      case Expr::Not:
+        return nl.gate1(GateKind::Inv, sub(*e.a, 0), name);
+      case Expr::And:
+        return nl.gate2(GateKind::And2, sub(*e.a, 0), sub(*e.b, 1), name);
+      case Expr::Or:
+        return nl.gate2(GateKind::Or2, sub(*e.a, 0), sub(*e.b, 1), name);
+      case Expr::Xor:
+        return nl.gate2(GateKind::Xor2, sub(*e.a, 0), sub(*e.b, 1), name);
+      case Expr::Mux:
+        // writeVerilog emits `sel ? then : else` for Mux2(a=else,
+        // b=then, c=sel); rebuild with the same pin convention.
+        return nl.gate3(GateKind::Mux2, sub(*e.c, 2), sub(*e.b, 1),
+                        sub(*e.a, 0), name);
+    }
+    fail(e.line, "internal: unhandled expression kind");
+  }
+
+  static constexpr std::size_t kMaxResolveDepth = 100000;
+
+  Lexer lexer_;
+  Token tok_;
+  Netlist* nl_ = nullptr;
+  std::unordered_map<std::string, NetId> inputs_;
+  std::vector<std::pair<std::string, std::size_t>> outputs_;
+  std::unordered_map<std::string, Assign> assigns_;
+  std::vector<std::string> assignOrder_;  ///< declaration order
+  std::unordered_set<std::string> declared_;
+  std::unordered_set<std::string> wires_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace
+
+core::StatusOr<Netlist> readVerilogString(std::string_view text) {
+  try {
+    Parser parser(text);
+    return parser.parse();
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    // Netlist::validate and the builder throw plain exceptions for
+    // structural violations; at this boundary they are a property of
+    // the input text.
+    return Status::invalidInput(std::string("readVerilog: ") + e.what());
+  }
+}
+
+core::StatusOr<Netlist> readVerilog(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::ioError("readVerilog: stream read failed");
+  }
+  return readVerilogString(buffer.str());
+}
+
+core::StatusOr<Netlist> readVerilogFile(const std::string& path) {
+  if (core::fault_inject::shouldFail(core::fault_inject::kFileOpen)) {
+    return Status::ioError("fault injected at site 'file.open' (" + path +
+                           ")");
+  }
+  std::ifstream in(path);
+  if (!in) {
+    return Status::ioError("readVerilogFile: cannot open " + path);
+  }
+  return readVerilog(in);
+}
+
+}  // namespace oisa::netlist

@@ -1,0 +1,10 @@
+// multi-bit literal outside the structural subset
+module lit (
+  input  wire a,
+  output wire y
+);
+
+  wire n1;
+  assign n1 = a & 4'hF;
+  assign y = n1;
+endmodule

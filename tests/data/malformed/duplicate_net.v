@@ -1,0 +1,12 @@
+// the same net assigned twice
+module dup (
+  input  wire a,
+  input  wire b,
+  output wire y
+);
+
+  wire n1;
+  assign n1 = a & b;
+  assign n1 = a | b;
+  assign y = n1;
+endmodule

@@ -1,0 +1,11 @@
+// unterminated statement: assign without its semicolon
+module semi (
+  input  wire a,
+  input  wire b,
+  output wire y
+);
+
+  wire n1;
+  assign n1 = a & b
+  assign y = n1;
+endmodule

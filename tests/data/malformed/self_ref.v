@@ -1,0 +1,10 @@
+// self-referential assign: y depends on itself through n1
+module cyclic (
+  input  wire a,
+  output wire y
+);
+
+  wire n1;
+  assign n1 = y & a;
+  assign y = n1;
+endmodule

@@ -1,0 +1,9 @@
+// unterminated module: endmodule never appears
+module broken (
+  input  wire a,
+  output wire y
+);
+
+  wire n1;
+  assign n1 = ~a;
+  assign y = n1;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/isa_adder.h"
+#include "core/status.h"
 #include "experiments/cli.h"
 #include "experiments/report.h"
 #include "experiments/runner.h"
@@ -90,7 +91,31 @@ TEST(CliTest, ParsesKeyValueAndFlags) {
 
 TEST(CliTest, RejectsPositionalArguments) {
   const char* argv[] = {"prog", "positional"};
-  EXPECT_THROW(ArgParser(2, argv), std::invalid_argument);
+  EXPECT_THROW(ArgParser(2, argv), oisa::core::StatusError);
+}
+
+TEST(CliTest, DiagnosesMalformedValues) {
+  const char* argv[] = {"prog", "--cycles=banana", "--cpr=1.2.3",
+                        "--relax=maybe"};
+  const ArgParser args(4, argv);
+  // Each conversion failure names the flag, the expected type and the
+  // offending text — no bare stoull/stod exceptions.
+  try {
+    (void)args.getU64("cycles", 0);
+    FAIL() << "expected StatusError";
+  } catch (const oisa::core::StatusError& e) {
+    EXPECT_EQ(e.status().code(), oisa::core::StatusCode::InvalidInput);
+    EXPECT_NE(e.status().message().find("--cycles"), std::string::npos);
+    EXPECT_NE(e.status().message().find("banana"), std::string::npos);
+  }
+  EXPECT_THROW((void)args.getDouble("cpr", 0.0), oisa::core::StatusError);
+  EXPECT_THROW((void)args.getBool("relax", false), oisa::core::StatusError);
+  // Negative and hex spellings are rejected for unsigned flags instead
+  // of wrapping.
+  const char* argv2[] = {"prog", "--cycles=-5", "--seed=0x10"};
+  const ArgParser args2(3, argv2);
+  EXPECT_THROW((void)args2.getU64("cycles", 0), oisa::core::StatusError);
+  EXPECT_THROW((void)args2.getU64("seed", 0), oisa::core::StatusError);
 }
 
 TEST(ReportTest, TableAlignsAndEmitsCsv) {
