@@ -1,16 +1,22 @@
 // Shared helpers for the figure-regeneration benches.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "circuits/synthesis.h"
 #include "core/status.h"
+#include "core/subprocess.h"
 #include "experiments/cli.h"
 #include "experiments/grid_scheduler.h"
 #include "experiments/report.h"
@@ -28,17 +34,159 @@ inline unsigned threadsOption(const experiments::ArgParser& args) {
 /// Crash-safety CLI surface shared by every grid bench:
 ///   --checkpoint=path        snapshot completed cells to `path`
 ///   --resume                 adopt an existing snapshot before running
-///   --checkpoint-every=N     autosave cadence in cells (default 8)
+///   --checkpoint-every=N     autosave cadence in cells (default 8; 0 is
+///                            rejected — it would disable autosaving the
+///                            flag exists to provide)
 ///   --retries=N              per-cell attempts on transient failure
 ///   --deadline=S             wall-clock budget in seconds (0 = none)
+///   --progress               periodic one-line progress heartbeat on
+///                            stderr (cells done/total, retries, ETA)
 /// Resumed campaigns are byte-identical to uninterrupted ones.
 inline void applyRobustnessOptions(const experiments::ArgParser& args,
                                    experiments::RunOptions& run) {
   run.checkpoint.path = args.getString("checkpoint", "");
   run.checkpoint.resume = args.getBool("resume", false);
-  run.checkpoint.everyCells = args.getU64("checkpoint-every", 8);
+  run.checkpoint.everyCells = args.getPositiveU64("checkpoint-every", 8);
   run.cellAttempts = static_cast<unsigned>(args.getU64("retries", 1));
   run.deadlineSeconds = args.getDouble("deadline", 0.0);
+  run.progress = args.getBool("progress", false);
+}
+
+/// What setupSharding decided this process is.
+struct ShardContext {
+  /// False in shard workers: they compute and checkpoint, the supervisor
+  /// process prints the tables/CSV after the merge.
+  bool emitOutput = true;
+  /// Set in the supervisor after runShardSupervisor finished.
+  std::optional<experiments::ShardReport> report;
+  /// Owned by the context in worker mode; run.heartbeat points at it.
+  std::unique_ptr<experiments::HeartbeatEmitter> heartbeat;
+};
+
+/// Forwards this invocation's argv to a shard worker, minus everything
+/// the supervisor owns (shard topology, checkpoint/resume plumbing,
+/// output paths) — the supervisor re-appends those per shard. Workers
+/// that were not given --threads default to a fair share of the machine
+/// so N shards do not oversubscribe it N times.
+inline std::vector<std::string> forwardedWorkerArgs(
+    const experiments::ArgParser& args, unsigned shards) {
+  static const std::set<std::string> kSupervisorOnly = {
+      "shards",        "shard-worker",  "shard-strikes", "shard-timeout",
+      "shard-backoff", "quarantine",    "checkpoint",    "resume",
+      "csv",           "json",          "progress",      "threads"};
+  std::vector<std::string> out;
+  for (const auto& [key, value] : args.all()) {
+    if (kSupervisorOnly.count(key) != 0) continue;
+    out.push_back("--" + key + "=" + value);
+  }
+  unsigned threads = static_cast<unsigned>(args.getU64("threads", 0));
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    threads = (hw + shards - 1) / shards;
+  }
+  out.push_back("--threads=" + std::to_string(threads));
+  return out;
+}
+
+/// Multi-process campaign execution (experiments/shard.h). Three modes:
+///
+///   --shard-worker=i/N   this process is a supervised worker: compute
+///                        the slice's cells into <checkpoint>.shard<i>,
+///                        report over the heartbeat pipe, emit nothing;
+///   --shards=N (N > 1)   supervise N workers (spawn/monitor/restart/
+///                        quarantine), merge their snapshots into the
+///                        base checkpoint, then fall through and run the
+///                        campaign in-process with --resume — every
+///                        surviving cell is served from the merged
+///                        snapshot, so the output is byte-identical to
+///                        an unsharded run and goes through the
+///                        identical emission path;
+///   neither              plain single-process run (ctx is inert).
+///
+/// `cellCount` is the full campaign grid size (designs × CPR points).
+/// Throws StatusError on bad shard flags or a failed supervision run.
+inline ShardContext setupSharding(const experiments::ArgParser& args,
+                                  const char* argv0,
+                                  experiments::RunOptions& run,
+                                  std::size_t cellCount) {
+  ShardContext ctx;
+  const std::string workerSpec = args.getString("shard-worker", "");
+  if (!workerSpec.empty()) {
+    const auto spec =
+        experiments::ShardWorkerSpec::parse(workerSpec).valueOrThrow();
+    const std::string base = args.getString("checkpoint", "");
+    if (base.empty()) {
+      throw core::StatusError(core::Status::invalidInput(
+          "--shard-worker requires --checkpoint=<path> (the shard snapshot "
+          "derives from it)"));
+    }
+    run.shard.index = spec.index;
+    run.shard.count = spec.count;
+    run.shard.skipCells =
+        experiments::parseCellList(args.getString("quarantine", ""))
+            .valueOrThrow();
+    // Private snapshot, keyed by *global* cell index with the full-grid
+    // shape and fingerprint — that is what makes shard snapshots
+    // merge-compatible with each other and with the base.
+    run.checkpoint.path = experiments::shardCheckpointPath(base, spec.index);
+    run.checkpoint.resume = true;  // restarts adopt the previous attempt
+    run.progress = false;          // the supervisor owns the terminal
+    ctx.heartbeat = experiments::HeartbeatEmitter::fromEnv();
+    run.heartbeat = ctx.heartbeat.get();
+    ctx.emitOutput = false;
+    return ctx;
+  }
+  const unsigned shards =
+      static_cast<unsigned>(args.getPositiveU64("shards", 1));
+  if (shards <= 1) return ctx;
+  if (run.checkpoint.path.empty()) {
+    throw core::StatusError(core::Status::invalidInput(
+        "--shards requires --checkpoint=<path> (shard results merge "
+        "through it)"));
+  }
+  experiments::ShardSupervisorOptions sup;
+  sup.shards = shards;
+  sup.binary = core::selfExecutablePath(argv0);
+  sup.workerArgs = forwardedWorkerArgs(args, shards);
+  sup.checkpointBase = run.checkpoint.path;
+  sup.resumeBase = run.checkpoint.resume;
+  sup.cellCount = cellCount;
+  sup.maxCellStrikes =
+      static_cast<unsigned>(args.getPositiveU64("shard-strikes", 3));
+  sup.heartbeatTimeoutSec = args.getDouble("shard-timeout", 30.0);
+  sup.restartBackoffMs = args.getU64("shard-backoff", 200);
+  sup.progress = run.progress;
+  ctx.report = experiments::runShardSupervisor(sup).valueOrThrow();
+  // Final in-process pass over the *whole* grid: --resume against the
+  // merged snapshot serves every completed cell; only quarantined cells
+  // are skipped (their rows stay empty and the emitters drop them).
+  run.checkpoint.resume = true;
+  run.shard = {};
+  for (const auto& q : ctx.report->quarantined) {
+    run.shard.skipCells.push_back(q.cell);
+  }
+  std::sort(run.shard.skipCells.begin(), run.shard.skipCells.end());
+  return ctx;
+}
+
+/// Human-readable tail of a supervised campaign: what was restarted,
+/// quarantined, or absolved (on stderr, after the tables).
+inline void printShardReport(const ShardContext& ctx) {
+  if (!ctx.report.has_value()) return;
+  const experiments::ShardReport& r = *ctx.report;
+  std::cerr << "shards: " << r.cellsDone << " cell completion(s) observed, "
+            << r.restarts << " worker restart(s)\n";
+  for (const experiments::QuarantinedCell& q : r.quarantined) {
+    std::cerr << "  quarantined cell " << q.cell << " (shard " << q.shard
+              << "): worker died with " << q.lastExit.toString()
+              << (q.stalled ? " after a heartbeat stall" : "") << ", "
+              << q.strikes << " strike(s) — row omitted\n";
+  }
+  for (const std::uint64_t cell : r.absolved) {
+    std::cerr << "  absolved cell " << cell
+              << ": completed despite strikes (lost heartbeat)\n";
+  }
 }
 
 /// Minimal machine-readable bench emitter: one flat JSON object per file,

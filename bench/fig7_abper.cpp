@@ -5,7 +5,9 @@
 // Usage: fig7_abper [--train-cycles=N] [--test-cycles=N] [--trees=T]
 //                   [--depth=D] [--seed=S] [--relax] [--threads=N]
 //                   [--checkpoint=path] [--resume] [--checkpoint-every=N]
-//                   [--retries=N] [--deadline=S] [--csv=path]
+//                   [--retries=N] [--deadline=S] [--progress]
+//                   [--shards=N] [--shard-strikes=K] [--shard-timeout=S]
+//                   [--csv=path]
 #include "experiments/runner.h"
 
 #include "bench_common.h"
@@ -25,9 +27,13 @@ int main(int argc, char** argv) {
   options.predictor.forest.treeCount = args.getU64("trees", 10);
   options.predictor.forest.tree.maxDepth =
       static_cast<int>(args.getU64("depth", 10));
+  const auto shard = bench::setupSharding(
+      args, argv[0], options.run,
+      designs.size() * bench::paperCprs().size());
 
   const auto rows =
       runPredictionEvaluation(designs, bench::paperCprs(), options);
+  if (!shard.emitOutput) return 0;  // worker: the supervisor prints
 
   std::cout << "== Fig. 7: ABPER of the bit-level timing-error model ==\n"
             << "(train " << options.trainCycles << " / test "
@@ -48,6 +54,7 @@ int main(int argc, char** argv) {
     table.addRow({design.config.name(), cells[0], cells[1], cells[2]});
   }
   bench::emit(table, args);
+  bench::printShardReport(shard);
   return 0;
   });
 }

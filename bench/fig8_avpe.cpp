@@ -6,7 +6,8 @@
 // Usage: fig8_avpe [--train-cycles=N] [--test-cycles=N] [--trees=T]
 //                  [--seed=S] [--relax] [--threads=N] [--checkpoint=path]
 //                  [--resume] [--checkpoint-every=N] [--retries=N]
-//                  [--deadline=S] [--csv=path]
+//                  [--deadline=S] [--progress] [--shards=N]
+//                  [--shard-strikes=K] [--shard-timeout=S] [--csv=path]
 #include "experiments/runner.h"
 
 #include "bench_common.h"
@@ -24,9 +25,13 @@ int main(int argc, char** argv) {
   options.run.threads = bench::threadsOption(args);
   bench::applyRobustnessOptions(args, options.run);
   options.predictor.forest.treeCount = args.getU64("trees", 10);
+  const auto shard = bench::setupSharding(
+      args, argv[0], options.run,
+      designs.size() * bench::paperCprs().size());
 
   const auto rows =
       runPredictionEvaluation(designs, bench::paperCprs(), options);
+  if (!shard.emitOutput) return 0;  // worker: the supervisor prints
 
   std::cout << "== Fig. 8: AVPE of the bit-level timing-error model ==\n\n";
   experiments::Table table(
@@ -44,6 +49,7 @@ int main(int argc, char** argv) {
     table.addRow({design.config.name(), cells[0], cells[1], cells[2]});
   }
   bench::emit(table, args);
+  bench::printShardReport(shard);
   return 0;
   });
 }

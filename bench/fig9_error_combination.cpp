@@ -7,7 +7,9 @@
 //                               [--workload=uniform] [--threads=N]
 //                               [--checkpoint=path] [--resume]
 //                               [--checkpoint-every=N] [--retries=N]
-//                               [--deadline=S] [--csv=path]
+//                               [--deadline=S] [--progress]
+//                               [--shards=N] [--shard-strikes=K]
+//                               [--shard-timeout=S] [--csv=path]
 #include "experiments/runner.h"
 #include "experiments/trace_collector.h"
 
@@ -25,9 +27,12 @@ int main(int argc, char** argv) {
   options.threads = bench::threadsOption(args);
   options.workload = args.getString("workload", "uniform");
   bench::applyRobustnessOptions(args, options);
+  const auto shard = bench::setupSharding(
+      args, argv[0], options, designs.size() * bench::paperCprs().size());
 
   const auto rows =
       runErrorCombination(designs, bench::paperCprs(), options);
+  if (!shard.emitOutput) return 0;  // worker: the supervisor prints
 
   std::cout << "== Fig. 9: relative error RMS (%) under overclocking ==\n"
             << "(cycles per point: " << options.cycles
@@ -40,6 +45,7 @@ int main(int argc, char** argv) {
     experiments::Table table({"design", "structural[%]", "timing[%]",
                               "joint[%]", "timing-err-rate"});
     for (const auto& row : rows) {
+      if (row.design.empty()) continue;  // quarantined cell: row omitted
       if (row.cprPercent != cpr) continue;
       table.addRow(
           {row.design,
@@ -60,6 +66,7 @@ int main(int argc, char** argv) {
                           "rms_rel_struct", "rms_rel_timing",
                           "rms_rel_joint"});
   for (const auto& row : rows) {
+    if (row.design.empty()) continue;  // quarantined cell: row omitted
     csv.addRow({row.design, experiments::formatFixed(row.cprPercent, 1),
                 experiments::formatFixed(row.periodNs, 4),
                 experiments::formatSci(row.rmsRelStruct, 6),
@@ -71,6 +78,7 @@ int main(int argc, char** argv) {
     csv.writeCsvFile(path);
     std::cout << "(csv written to " << path << ")\n";
   }
+  bench::printShardReport(shard);
   return 0;
   });
 }

@@ -1,6 +1,8 @@
 #include "core/fault_inject.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <string_view>
@@ -85,6 +87,24 @@ struct EnvArm {
 };
 const EnvArm gEnvArm;
 
+/// At-exit typo guard: a rule whose site string never matched a real
+/// shouldFail() call silently arms *nothing* — a CI smoke script with a
+/// misspelled site would pass while injecting no fault at all. Warn
+/// about every armed-but-never-reached site when the process exits with
+/// a plan still armed (tests that arm via ScopedFaultPlan reset before
+/// exit and are exempt). Uses fprintf: std::cerr may already be mid-
+/// destruction inside atexit handlers.
+void warnUnhitSitesAtExit() {
+  for (const std::string& site : fault_inject::armedUnhitSites()) {
+    std::fprintf(stderr,
+                 "warning: OISA_FAULT_INJECT site '%s' was armed but never "
+                 "hit (misspelled site name?)\n",
+                 site.c_str());
+  }
+}
+
+std::once_flag gExitWarningRegistered;
+
 }  // namespace
 
 bool shouldFailSlow(const char* site) {
@@ -121,10 +141,15 @@ void arm(const std::string& plan) {
     throwIfError(fault_inject_detail::parseEntry(entry, site, rule));
     rules[std::move(site)] = rule;
   }
-  const std::lock_guard<std::mutex> lock(r.mutex);
-  r.rules = std::move(rules);
-  r.extraHits.clear();
-  gArmed.store(!r.rules.empty(), std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(r.mutex);
+    r.rules = std::move(rules);
+    r.extraHits.clear();
+    gArmed.store(!r.rules.empty(), std::memory_order_relaxed);
+  }
+  std::call_once(fault_inject_detail::gExitWarningRegistered, [] {
+    (void)std::atexit(fault_inject_detail::warnUnhitSitesAtExit);
+  });
 }
 
 void reset() {
@@ -145,6 +170,17 @@ std::uint64_t hitCount(const std::string& site) {
     return it->second;
   }
   return 0;
+}
+
+std::vector<std::string> armedUnhitSites() {
+  auto& r = fault_inject_detail::registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> sites;
+  for (const auto& [site, rule] : r.rules) {
+    if (rule.hits == 0) sites.push_back(site);
+  }
+  std::sort(sites.begin(), sites.end());  // deterministic warning order
+  return sites;
 }
 
 }  // namespace fault_inject

@@ -30,6 +30,7 @@
 
 #include <atomic>
 #include <string>
+#include <vector>
 
 #include "core/status.h"
 
@@ -47,6 +48,8 @@ inline constexpr const char* kCheckpointWrite = "checkpoint.write";
 inline constexpr const char* kCheckpointRead = "checkpoint.read";
 inline constexpr const char* kFileOpen = "file.open";
 inline constexpr const char* kGridCell = "grid.cell";
+inline constexpr const char* kWorkerSpawn = "worker.spawn";
+inline constexpr const char* kWorkerHeartbeat = "worker.heartbeat";
 
 /// True when this hit of `site` must fail according to the armed plan.
 /// Compiles to a single untaken branch when nothing is armed.
@@ -76,6 +79,12 @@ void reset();
 
 /// Hits recorded so far for `site` (armed plans only; test introspection).
 [[nodiscard]] std::uint64_t hitCount(const std::string& site);
+
+/// Sites with an armed rule that no shouldFail() call ever reached —
+/// almost always a misspelled site name in a plan. The same list is
+/// warned to stderr at process exit while a plan is still armed, so a
+/// typo in a CI smoke script cannot fake a passing injection run.
+[[nodiscard]] std::vector<std::string> armedUnhitSites();
 
 }  // namespace fault_inject
 

@@ -1,0 +1,205 @@
+#include "core/subprocess.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/fault_inject.h"
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace oisa::core {
+
+std::string ProcessExit::toString() const {
+  if (kind == Kind::Exited) return "exit " + std::to_string(exitCode);
+#ifndef _WIN32
+  const char* name = strsignal(signal);
+  return "signal " + std::to_string(signal) +
+         (name != nullptr ? " (" + std::string(name) + ")" : "");
+#else
+  return "signal " + std::to_string(signal);
+#endif
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)),
+      fd_(std::exchange(other.fd_, -1)),
+      exit_(std::exchange(other.exit_, std::nullopt)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    this->~Subprocess();
+    pid_ = std::exchange(other.pid_, -1);
+    fd_ = std::exchange(other.fd_, -1);
+    exit_ = std::exchange(other.exit_, std::nullopt);
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+#ifndef _WIN32
+  if (valid() && !exit_.has_value()) {
+    ::kill(pid_, SIGKILL);
+    (void)wait();  // never leak a zombie
+  }
+#endif
+  closeFd();
+}
+
+void Subprocess::closeFd() noexcept {
+#ifndef _WIN32
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  fd_ = -1;
+}
+
+#ifndef _WIN32
+
+StatusOr<Subprocess> Subprocess::spawn(
+    const std::string& binary, const std::vector<std::string>& args,
+    const std::vector<std::pair<std::string, std::string>>& extraEnv) {
+  if (fault_inject::shouldFail(fault_inject::kWorkerSpawn)) {
+    return Status::ioError("spawn '" + binary + "': fault injected");
+  }
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    return Status::ioError("pipe: " + std::string(std::strerror(errno)));
+  }
+  // Read end: supervisor side, non-blocking, invisible to the child.
+  (void)::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  (void)::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const Status s =
+        Status::ioError("fork: " + std::string(std::strerror(errno)));
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return s;
+  }
+  if (pid == 0) {
+    // Child: keep only the pipe write end, advertise it, exec. Only
+    // async-signal-safe-ish calls happen between fork and exec; the
+    // argv/env strings are assembled before exec touches the heap via
+    // std::string (single-threaded child, so heap use is safe anyway).
+    ::close(fds[0]);
+    const std::string fdText = std::to_string(fds[1]);
+    ::setenv("OISA_HEARTBEAT_FD", fdText.c_str(), 1);
+    for (const auto& [key, value] : extraEnv) {
+      ::setenv(key.c_str(), value.c_str(), 1);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 2);
+    argv.push_back(const_cast<char*>(binary.c_str()));
+    for (const std::string& a : args) {
+      argv.push_back(const_cast<char*>(a.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    // Exec failed: report on stderr and die with the conventional 127.
+    const std::string msg =
+        "subprocess: exec '" + binary + "': " + std::strerror(errno) + "\n";
+    (void)!::write(STDERR_FILENO, msg.data(), msg.size());
+    ::_exit(127);
+  }
+  // Parent.
+  ::close(fds[1]);
+  Subprocess child;
+  child.pid_ = static_cast<int>(pid);
+  child.fd_ = fds[0];
+  return child;
+}
+
+int Subprocess::readHeartbeat(std::string& out) {
+  if (fd_ < 0) return -1;
+  char buffer[4096];
+  int total = 0;
+  for (;;) {
+    const ssize_t n = ::read(fd_, buffer, sizeof buffer);
+    if (n > 0) {
+      out.append(buffer, static_cast<std::size_t>(n));
+      total += static_cast<int>(n);
+      continue;
+    }
+    if (n == 0) {  // EOF: the write end is gone
+      closeFd();
+      return total > 0 ? total : -1;
+    }
+    if (errno == EINTR) continue;
+    // EAGAIN/EWOULDBLOCK: drained everything currently available.
+    return total;
+  }
+}
+
+std::optional<ProcessExit> Subprocess::poll() {
+  if (exit_.has_value()) return exit_;
+  if (!valid()) return std::nullopt;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r != pid_) return std::nullopt;
+  ProcessExit e;
+  if (WIFSIGNALED(status)) {
+    e.kind = ProcessExit::Kind::Signaled;
+    e.signal = WTERMSIG(status);
+  } else {
+    e.kind = ProcessExit::Kind::Exited;
+    e.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+  exit_ = e;
+  return exit_;
+}
+
+ProcessExit Subprocess::wait() {
+  if (exit_.has_value()) return *exit_;
+  int status = 0;
+  pid_t r = 0;
+  do {
+    r = ::waitpid(pid_, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  ProcessExit e;
+  if (r == pid_ && WIFSIGNALED(status)) {
+    e.kind = ProcessExit::Kind::Signaled;
+    e.signal = WTERMSIG(status);
+  } else {
+    e.kind = ProcessExit::Kind::Exited;
+    e.exitCode = (r == pid_ && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  }
+  exit_ = e;
+  return *exit_;
+}
+
+void Subprocess::kill(int signal) {
+  if (valid() && !exit_.has_value()) ::kill(pid_, signal);
+}
+
+std::string selfExecutablePath(const char* fallback) {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof buffer - 1);
+  if (n > 0) return std::string(buffer, static_cast<std::size_t>(n));
+  return fallback != nullptr ? fallback : "";
+}
+
+#else  // _WIN32: the sharded supervisor is POSIX-only; fail loudly.
+
+StatusOr<Subprocess> Subprocess::spawn(
+    const std::string& binary, const std::vector<std::string>&,
+    const std::vector<std::pair<std::string, std::string>>&) {
+  return Status::internal("subprocess: unsupported on this platform ('" +
+                          binary + "')");
+}
+int Subprocess::readHeartbeat(std::string&) { return -1; }
+std::optional<ProcessExit> Subprocess::poll() { return std::nullopt; }
+ProcessExit Subprocess::wait() { return ProcessExit{}; }
+void Subprocess::kill(int) {}
+std::string selfExecutablePath(const char* fallback) {
+  return fallback != nullptr ? fallback : "";
+}
+
+#endif
+
+}  // namespace oisa::core

@@ -1,0 +1,101 @@
+// oisa_core: minimal fork/exec + pipe wrapper for process-isolated work.
+//
+// The sharded campaign supervisor (experiments/shard.h) needs exactly
+// four things from the OS: spawn a child running this same binary with
+// different flags, read its heartbeat bytes without blocking, learn how
+// it ended (exit code vs. signal), and kill it when it stalls. This
+// wrapper provides those four and nothing else — no shells, no stdio
+// redirection, no job control.
+//
+// Heartbeat pipe: spawn() creates a pipe, keeps the (non-blocking) read
+// end, and hands the write end to the child through the
+// OISA_HEARTBEAT_FD environment variable. Children that know the
+// protocol (experiments::HeartbeatEmitter) write newline-framed
+// messages; children that don't simply inherit an unused fd. The pipe
+// doubles as a liveness signal: EOF on the read end means the child is
+// gone even before the reaper notices.
+//
+// Fault site "worker.spawn" (core/fault_inject.h) makes spawn() itself
+// fail deterministically, so supervisor retry/backoff paths are
+// regression-testable without exhausting real PIDs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace oisa::core {
+
+/// How a child ended: normal exit (with code) or a terminating signal.
+struct ProcessExit {
+  enum class Kind { Exited, Signaled };
+  Kind kind = Kind::Exited;
+  int exitCode = 0;  ///< valid when kind == Exited
+  int signal = 0;    ///< valid when kind == Signaled
+
+  [[nodiscard]] bool clean() const noexcept {
+    return kind == Kind::Exited && exitCode == 0;
+  }
+  /// "exit 3" or "signal 9 (Killed)".
+  [[nodiscard]] std::string toString() const;
+};
+
+/// One spawned child process plus the read end of its heartbeat pipe.
+/// Move-only. The destructor never leaks a zombie: a still-running child
+/// is SIGKILLed and reaped (supervisors that care about graceful exits
+/// call wait()/poll() themselves first).
+class Subprocess {
+ public:
+  Subprocess() = default;
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  ~Subprocess();
+
+  /// Forks and execs `binary` with `args` (argv[0] is set to `binary`).
+  /// `extraEnv` entries are added to the inherited environment. The
+  /// child's OISA_HEARTBEAT_FD names the pipe write end. Returns IoError
+  /// when the fork/pipe fails (including via the "worker.spawn" fault
+  /// site); an exec failure surfaces as the child exiting 127.
+  [[nodiscard]] static StatusOr<Subprocess> spawn(
+      const std::string& binary, const std::vector<std::string>& args,
+      const std::vector<std::pair<std::string, std::string>>& extraEnv = {});
+
+  [[nodiscard]] bool valid() const noexcept { return pid_ > 0; }
+  [[nodiscard]] int pid() const noexcept { return pid_; }
+  /// Non-blocking read end of the heartbeat pipe (-1 after EOF/close).
+  [[nodiscard]] int heartbeatFd() const noexcept { return fd_; }
+
+  /// Appends available heartbeat bytes to `out` without blocking.
+  /// Returns the byte count, 0 when nothing is pending, or -1 on EOF
+  /// (the write end is gone; the fd is closed as a side effect).
+  int readHeartbeat(std::string& out);
+
+  /// Reaps the child if it has ended (WNOHANG); std::nullopt while it is
+  /// still running. Idempotent after the first successful reap.
+  [[nodiscard]] std::optional<ProcessExit> poll();
+
+  /// Blocks until the child ends and reaps it.
+  ProcessExit wait();
+
+  /// Sends `signal` (default SIGKILL) to a still-running child.
+  void kill(int signal);
+
+ private:
+  void closeFd() noexcept;
+
+  int pid_ = -1;
+  int fd_ = -1;
+  std::optional<ProcessExit> exit_;  ///< set once reaped
+};
+
+/// Absolute path of the running executable (/proc/self/exe where that
+/// exists), falling back to `fallback` — typically argv[0]. Supervisors
+/// use this to re-invoke their own binary as a shard worker.
+[[nodiscard]] std::string selfExecutablePath(const char* fallback);
+
+}  // namespace oisa::core

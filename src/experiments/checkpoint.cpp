@@ -190,6 +190,17 @@ void GridCheckpoint::record(std::uint64_t cell, std::string payload) {
   cells_[cell] = std::move(payload);
 }
 
+std::vector<std::uint64_t> GridCheckpoint::cellIndices() const {
+  std::vector<std::uint64_t> cells;
+  cells.reserve(cells_.size());
+  for (const auto& [cell, payload] : cells_) cells.push_back(cell);
+  return cells;  // std::map iteration order is already ascending
+}
+
+void GridCheckpoint::mergeFrom(const GridCheckpoint& other) {
+  for (const auto& [cell, payload] : other.cells_) cells_[cell] = payload;
+}
+
 core::Status GridCheckpoint::saveTo(const std::string& path) const {
   std::string bytes;
   bytes.append(kMagic, sizeof kMagic);
@@ -289,6 +300,44 @@ core::StatusOr<GridCheckpoint> GridCheckpoint::loadFrom(
   }
   if (pos != end) return corrupt("trailing bytes after records");
   return ckpt;
+}
+
+core::StatusOr<GridCheckpoint> mergeSnapshots(
+    const std::vector<std::string>& paths) {
+  GridCheckpoint merged;
+  bool haveFirst = false;
+  std::size_t loaded = 0;
+  for (const std::string& path : paths) {
+    core::StatusOr<GridCheckpoint> one = GridCheckpoint::loadFrom(path);
+    if (!one.isOk()) {
+      // A shard that quarantined all its cells, or a snapshot torn by
+      // the very crash we are recovering from. Recomputing its cells is
+      // always safe; refusing the merge would discard the good shards.
+      std::cerr << "warning: shard merge skipping '" << path
+                << "': " << one.status().toString() << "\n";
+      continue;
+    }
+    ++loaded;
+    if (!haveFirst) {
+      merged = std::move(one).value();
+      haveFirst = true;
+      continue;
+    }
+    const GridCheckpoint& next = one.value();
+    if (next.fingerprint() != merged.fingerprint() ||
+        next.cellCount() != merged.cellCount()) {
+      return core::Status::corruption(
+          "shard merge: '" + path +
+          "' belongs to a different campaign (fingerprint/shape mismatch)");
+    }
+    merged.mergeFrom(next);
+  }
+  if (!paths.empty() && loaded == 0) {
+    return core::Status::ioError(
+        "shard merge: none of the " + std::to_string(paths.size()) +
+        " snapshot(s) could be loaded");
+  }
+  return merged;
 }
 
 // --- CampaignCheckpoint ------------------------------------------------

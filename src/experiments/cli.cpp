@@ -64,6 +64,13 @@ std::uint64_t ArgParser::getU64(const std::string& key,
   return value;
 }
 
+std::uint64_t ArgParser::getPositiveU64(const std::string& key,
+                                        std::uint64_t fallback) const {
+  const std::uint64_t value = getU64(key, fallback);
+  if (value == 0) failValue(key, "a positive integer", getString(key, "0"));
+  return value;
+}
+
 double ArgParser::getDouble(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;

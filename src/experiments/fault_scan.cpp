@@ -232,22 +232,6 @@ std::vector<FaultScanRow> runFaultErrorScan(
     const std::vector<circuits::SynthesizedDesign>& designs,
     const FaultScanOptions& options) {
   std::vector<FaultScanRow> rows(designs.size());
-  unsigned workers = options.run.threads == 0
-                         ? std::thread::hardware_concurrency()
-                         : options.run.threads;
-  if (workers == 0) workers = 1;
-  workers = static_cast<unsigned>(
-      std::min<std::size_t>(workers, std::max<std::size_t>(designs.size(), 1)));
-  GridScheduler pool(workers);
-  CancelToken cancel;
-  RunPolicy policy;
-  policy.maxAttempts = std::max(options.run.cellAttempts, 1u);
-  policy.retryBackoff = std::chrono::milliseconds(options.run.retryBackoffMs);
-  if (options.run.deadlineSeconds > 0.0) {
-    cancel.setTimeout(std::chrono::nanoseconds(
-        static_cast<std::int64_t>(options.run.deadlineSeconds * 1e9)));
-    policy.cancel = &cancel;
-  }
   CampaignFingerprint fp("runFaultErrorScan");
   fp.mix(static_cast<std::uint64_t>(designs.size()));
   for (const auto& design : designs) {
@@ -372,7 +356,7 @@ std::vector<FaultScanRow> runFaultErrorScan(
     rows[d] = std::move(row);
   };
   try {
-    pool.run(designs.size(), scanCell, policy);
+    runCampaignGrid(designs.size(), options.run, scanCell);
   } catch (...) {
     (void)ckpt.finish();  // persist the surviving designs' rows
     throw;

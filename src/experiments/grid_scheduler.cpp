@@ -81,6 +81,9 @@ void GridScheduler::executeCell(std::size_t cell) {
     if (attempt >= policy.maxAttempts || !isRetryable(status) || cancelled) {
       break;
     }
+    if (policy.retryCounter != nullptr) {
+      policy.retryCounter->fetch_add(1, std::memory_order_relaxed);
+    }
     if (policy.retryBackoff.count() > 0) {
       // Exponential backoff, capped at 2^10 periods so a misconfigured
       // attempt count cannot sleep for hours.

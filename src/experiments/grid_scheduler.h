@@ -140,6 +140,9 @@ struct RunPolicy {
   std::chrono::milliseconds retryBackoff{0};
   /// Optional cooperative cancellation / wall-clock deadline.
   CancelToken* cancel = nullptr;
+  /// Optional non-owning counter bumped once per retry (attempt 2+), for
+  /// progress reporting (--progress, shard heartbeats).
+  std::atomic<std::uint64_t>* retryCounter = nullptr;
 };
 
 /// Persistent worker pool distributing independent grid cells.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "core/bit_distribution.h"
@@ -20,32 +22,6 @@ namespace {
 std::unique_ptr<Workload> workloadFor(const RunOptions& options, int width,
                                       std::uint64_t seedOffset) {
   return makeWorkload(options.workload, width, options.seed + seedOffset);
-}
-
-/// Fans task(0..count-1) out across a GridScheduler pool sized to the
-/// grid (never more workers than cells), applying the RunOptions
-/// failure policy (retry/backoff, wall-clock deadline). Every cell owns
-/// its seeded workload and simulator, so results are bit-identical at
-/// any thread count.
-template <typename Task>
-void runParallel(std::size_t count, const RunOptions& options, Task&& task) {
-  unsigned workers = options.threads == 0
-                         ? std::thread::hardware_concurrency()
-                         : options.threads;
-  if (workers == 0) workers = 1;
-  workers = static_cast<unsigned>(
-      std::min<std::size_t>(workers, std::max<std::size_t>(count, 1)));
-  GridScheduler pool(workers);
-  CancelToken cancel;
-  RunPolicy policy;
-  policy.maxAttempts = std::max(options.cellAttempts, 1u);
-  policy.retryBackoff = std::chrono::milliseconds(options.retryBackoffMs);
-  if (options.deadlineSeconds > 0.0) {
-    cancel.setTimeout(std::chrono::nanoseconds(
-        static_cast<std::int64_t>(options.deadlineSeconds * 1e9)));
-    policy.cancel = &cancel;
-  }
-  pool.run(count, task, policy);
 }
 
 /// Everything every campaign fingerprint depends on: the cell grid
@@ -136,6 +112,53 @@ std::optional<PredictionRow> decodePredictionRow(const std::string& payload) {
 
 }  // namespace
 
+void runCampaignGrid(std::size_t count, const RunOptions& options,
+                     const std::function<void(std::size_t)>& task) {
+  // Pool sized to the cells this slice actually computes (never more
+  // workers than owned cells); results are bit-identical at any thread
+  // count because every cell owns its seeded workload and simulator.
+  const std::size_t owned = options.shard.ownedCells(count);
+  unsigned workers = options.threads == 0
+                         ? std::thread::hardware_concurrency()
+                         : options.threads;
+  if (workers == 0) workers = 1;
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, std::max<std::size_t>(owned, 1)));
+  GridScheduler pool(workers);
+  CancelToken cancel;
+  RunPolicy policy;
+  policy.maxAttempts = std::max(options.cellAttempts, 1u);
+  policy.retryBackoff = std::chrono::milliseconds(options.retryBackoffMs);
+  if (options.deadlineSeconds > 0.0) {
+    cancel.setTimeout(std::chrono::nanoseconds(
+        static_cast<std::int64_t>(options.deadlineSeconds * 1e9)));
+    policy.cancel = &cancel;
+  }
+  CampaignMonitor monitor(owned, options.progress, options.heartbeat);
+  policy.retryCounter = monitor.retryCounter();
+  // Deterministic poison cell for quarantine tests: the named cell dies
+  // by abort() *after* announcing itself (so a supervisor sees it in
+  // flight) and *before* computing (so no checkpoint payload can absolve
+  // it). Quarantined cells never reach this — owns() filters them first.
+  static const char* abortEnv = std::getenv("OISA_ABORT_ON_CELL");
+  static const std::uint64_t abortCell =
+      abortEnv != nullptr && *abortEnv != '\0'
+          ? std::strtoull(abortEnv, nullptr, 10)
+          : ~std::uint64_t{0};
+  const auto wrapped = [&](std::size_t cell) {
+    if (!options.shard.owns(cell)) return;
+    monitor.cellStart(cell);
+    if (cell == abortCell) {
+      std::fprintf(stderr, "OISA_ABORT_ON_CELL: aborting in cell %zu\n",
+                   cell);
+      std::abort();
+    }
+    task(cell);
+    monitor.cellDone(cell);
+  };
+  pool.run(count, wrapped, policy);
+}
+
 std::vector<CombinationRow> runErrorCombination(
     const std::vector<circuits::SynthesizedDesign>& designs,
     std::span<const double> cprPercents, const RunOptions& options) {
@@ -192,7 +215,7 @@ std::vector<CombinationRow> runErrorCombination(
     rows[point] = std::move(row);
   };
   try {
-    runParallel(points, options, sweep);
+    runCampaignGrid(points, options, sweep);
   } catch (...) {
     (void)ckpt.finish();  // persist the surviving cells before surfacing
     throw;
@@ -265,7 +288,7 @@ std::vector<PredictionRow> runPredictionEvaluation(
     rows[point] = std::move(row);
   };
   try {
-    runParallel(points, options.run, sweep);
+    runCampaignGrid(points, options.run, sweep);
   } catch (...) {
     (void)ckpt.finish();
     throw;
@@ -327,7 +350,7 @@ std::vector<FunctionalScanRow> runFunctionalErrorScan(
     const RunOptions& options) {
   constexpr std::size_t kLanes = netlist::BatchEvaluator::kLanes;
   std::vector<FunctionalScanRow> rows(designs.size());
-  runParallel(designs.size(), options, [&](std::size_t d) {
+  runCampaignGrid(designs.size(), options, [&](std::size_t d) {
     const circuits::SynthesizedDesign& design = designs[d];
     const int width = design.config.width;
     const core::IsaAdder behavioral(design.config);

@@ -1,0 +1,571 @@
+#include "experiments/shard.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <set>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "core/fault_inject.h"
+#include "experiments/checkpoint.h"
+
+#ifndef _WIN32
+#include <csignal>
+#include <poll.h>
+#include <unistd.h>
+#endif
+
+namespace oisa::experiments {
+
+// --- cell ownership ----------------------------------------------------
+
+bool ShardSlice::owns(std::uint64_t cell) const noexcept {
+  if (count > 1 && cell % count != index) return false;
+  return !std::binary_search(skipCells.begin(), skipCells.end(), cell);
+}
+
+std::size_t ShardSlice::ownedCells(std::size_t cellCount) const noexcept {
+  std::size_t owned = 0;
+  for (std::uint64_t c = 0; c < cellCount; ++c) owned += owns(c) ? 1 : 0;
+  return owned;
+}
+
+core::StatusOr<ShardWorkerSpec> ShardWorkerSpec::parse(
+    const std::string& text) {
+  const auto bad = [&] {
+    return core::Status::invalidInput(
+        "--shard-worker: expected <index>/<count> with index < count, got '" +
+        text + "'");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 == text.size()) {
+    return bad();
+  }
+  std::uint64_t parts[2] = {0, 0};
+  const std::string_view views[2] = {
+      std::string_view(text).substr(0, slash),
+      std::string_view(text).substr(slash + 1)};
+  for (int i = 0; i < 2; ++i) {
+    for (const char ch : views[i]) {
+      if (ch < '0' || ch > '9') return bad();
+      parts[i] = parts[i] * 10 + static_cast<std::uint64_t>(ch - '0');
+      if (parts[i] > 1u << 20) return bad();
+    }
+  }
+  if (parts[1] == 0 || parts[0] >= parts[1]) return bad();
+  ShardWorkerSpec spec;
+  spec.index = static_cast<unsigned>(parts[0]);
+  spec.count = static_cast<unsigned>(parts[1]);
+  return spec;
+}
+
+std::string shardCheckpointPath(const std::string& base, unsigned shard) {
+  return base + ".shard" + std::to_string(shard);
+}
+
+core::StatusOr<std::vector<std::uint64_t>> parseCellList(
+    const std::string& text) {
+  std::vector<std::uint64_t> cells;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view item =
+        std::string_view(text).substr(begin, end - begin);
+    begin = end + 1;
+    if (item.empty()) continue;
+    std::uint64_t cell = 0;
+    for (const char ch : item) {
+      if (ch < '0' || ch > '9') {
+        return core::Status::invalidInput(
+            "cell list: expected comma-separated cell indices, got '" +
+            std::string(item) + "'");
+      }
+      cell = cell * 10 + static_cast<std::uint64_t>(ch - '0');
+    }
+    cells.push_back(cell);
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  return cells;
+}
+
+std::string formatCellList(const std::vector<std::uint64_t>& cells) {
+  std::string out;
+  for (const std::uint64_t cell : cells) {
+    if (!out.empty()) out.push_back(',');
+    out += std::to_string(cell);
+  }
+  return out;
+}
+
+// --- worker-side heartbeat --------------------------------------------
+
+std::unique_ptr<HeartbeatEmitter> HeartbeatEmitter::fromEnv() {
+  const char* env = std::getenv("OISA_HEARTBEAT_FD");
+  if (env == nullptr || *env == '\0') return nullptr;
+  const int fd = std::atoi(env);
+  if (fd <= 0) return nullptr;
+#ifndef _WIN32
+  // A supervisor that died mid-campaign must not SIGPIPE the worker —
+  // the worker keeps computing and its checkpoint still lands.
+  (void)std::signal(SIGPIPE, SIG_IGN);
+#endif
+  return std::make_unique<HeartbeatEmitter>(fd);
+}
+
+void HeartbeatEmitter::cellStart(std::uint64_t cell) {
+  writeLine("S " + std::to_string(cell) + "\n");
+}
+
+void HeartbeatEmitter::cellDone(std::uint64_t cell) {
+  writeLine("D " + std::to_string(cell) + "\n");
+}
+
+void HeartbeatEmitter::retries(std::uint64_t total) {
+  writeLine("R " + std::to_string(total) + "\n");
+}
+
+void HeartbeatEmitter::tick() { writeLine("H\n"); }
+
+void HeartbeatEmitter::writeLine(const std::string& line) {
+#ifndef _WIN32
+  // The fault drops the *line*, not the fd: the worker keeps computing
+  // normally but looks dead from the supervisor's side.
+  if (core::fault_inject::shouldFail(core::fault_inject::kWorkerHeartbeat)) {
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (broken_) return;
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    broken_ = true;  // supervisor gone; protocol is best-effort
+    return;
+  }
+#else
+  (void)line;
+#endif
+}
+
+// --- grid-loop monitor -------------------------------------------------
+
+CampaignMonitor::CampaignMonitor(std::size_t totalCells,
+                                 bool progressToStderr,
+                                 HeartbeatEmitter* heartbeat)
+    : total_(totalCells),
+      progress_(progressToStderr),
+      heartbeat_(heartbeat),
+      start_(std::chrono::steady_clock::now()),
+      lastPrint_(start_) {
+  if (progress_ || heartbeat_ != nullptr) {
+    ticker_ = std::thread([this] { tickerLoop(); });
+  }
+}
+
+CampaignMonitor::~CampaignMonitor() {
+  if (ticker_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    stopCv_.notify_all();
+    ticker_.join();
+  }
+  if (progress_) printProgress();  // final line: done == total (or error)
+}
+
+void CampaignMonitor::cellStart(std::uint64_t cell) {
+  if (heartbeat_ != nullptr) heartbeat_->cellStart(cell);
+}
+
+void CampaignMonitor::cellDone(std::uint64_t cell) {
+  done_.fetch_add(1, std::memory_order_relaxed);
+  if (heartbeat_ != nullptr) heartbeat_->cellDone(cell);
+}
+
+void CampaignMonitor::tickerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    stopCv_.wait_for(lock, std::chrono::milliseconds(500));
+    if (stop_) break;
+    lock.unlock();
+    if (heartbeat_ != nullptr) {
+      heartbeat_->tick();
+      const std::uint64_t retries = retries_.load(std::memory_order_relaxed);
+      if (retries != reportedRetries_) {
+        reportedRetries_ = retries;
+        heartbeat_->retries(retries);
+      }
+    }
+    if (progress_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - lastPrint_ >= std::chrono::seconds(2)) {
+        lastPrint_ = now;
+        printProgress();
+      }
+    }
+    lock.lock();
+  }
+}
+
+void CampaignMonitor::printProgress() {
+  const std::uint64_t done = done_.load(std::memory_order_relaxed);
+  const std::uint64_t retries = retries_.load(std::memory_order_relaxed);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::string line = "progress: " + std::to_string(done) + "/" +
+                     std::to_string(total_) + " cells";
+  if (retries > 0) line += ", " + std::to_string(retries) + " retries";
+  char timing[64];
+  std::snprintf(timing, sizeof timing, ", elapsed %.1fs", elapsed);
+  line += timing;
+  if (done > 0 && done < total_) {
+    const double eta =
+        elapsed / static_cast<double>(done) *
+        static_cast<double>(total_ - done);
+    std::snprintf(timing, sizeof timing, ", eta %.1fs", eta);
+    line += timing;
+  }
+  line += "\n";
+  // One write: progress lines from workers and supervisor interleave on
+  // the shared stderr, but never mid-line.
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
+
+// --- supervisor --------------------------------------------------------
+
+#ifndef _WIN32
+
+namespace {
+
+/// Supervisor-side view of one shard's worker lifecycle.
+struct ShardState {
+  core::Subprocess proc;
+  bool running = false;
+  bool finished = false;  ///< worker exited cleanly
+  unsigned launches = 0;
+  bool stallKilled = false;  ///< we SIGKILLed it for heartbeat silence
+  std::chrono::steady_clock::time_point lastTraffic;
+  std::chrono::steady_clock::time_point nextSpawn;  ///< backoff gate
+  std::string rx;                                   ///< partial line buffer
+  std::set<std::uint64_t> inFlight;  ///< S seen, no D yet
+  std::uint64_t reportedRetries = 0;
+};
+
+std::vector<std::string> defaultWorkerArgs(
+    const ShardSupervisorOptions& options, unsigned shard,
+    const std::vector<std::uint64_t>& quarantined) {
+  std::vector<std::string> args = options.workerArgs;
+  args.push_back("--shard-worker=" + std::to_string(shard) + "/" +
+                 std::to_string(options.shards));
+  args.push_back("--checkpoint=" + options.checkpointBase);
+  args.push_back("--resume");
+  if (!quarantined.empty()) {
+    args.push_back("--quarantine=" + formatCellList(quarantined));
+  }
+  return args;
+}
+
+}  // namespace
+
+core::StatusOr<ShardReport> runShardSupervisor(
+    const ShardSupervisorOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  if (options.shards < 1) {
+    return core::Status::invalidInput("supervisor: --shards must be >= 1");
+  }
+  if (options.checkpointBase.empty()) {
+    return core::Status::invalidInput(
+        "supervisor: a checkpoint base path is required (shard results "
+        "merge through it)");
+  }
+  if (options.binary.empty()) {
+    return core::Status::invalidInput("supervisor: worker binary unknown");
+  }
+
+  const unsigned strikesToQuarantine = std::max(1u, options.maxCellStrikes);
+  // Quarantine guarantees progress: each abnormal death strikes at least
+  // one owned cell (or exhausts this budget), so K strikes per cell
+  // bounds total restarts. Slack absorbs spawn faults and stall kills
+  // that strike nothing.
+  const std::size_t cellsPerShard =
+      options.cellCount / options.shards + 1;
+  const unsigned restartBudget =
+      options.maxRestartsPerShard > 0
+          ? options.maxRestartsPerShard
+          : static_cast<unsigned>(strikesToQuarantine * cellsPerShard + 8);
+
+  ShardReport report;
+  std::vector<ShardState> shards(options.shards);
+  const auto now0 = Clock::now();
+  for (ShardState& s : shards) {
+    s.lastTraffic = now0;
+    s.nextSpawn = now0;
+  }
+  std::unordered_map<std::uint64_t, unsigned> strikes;
+  std::set<std::uint64_t> quarantinedSet;
+  std::set<std::uint64_t> completed;  ///< distinct D cells (progress)
+  core::Status failure;  ///< first budget exhaustion; merge still runs
+
+  const auto quarantineList = [&] {
+    return std::vector<std::uint64_t>(quarantinedSet.begin(),
+                                      quarantinedSet.end());
+  };
+  const auto buildArgs = [&](unsigned shard) {
+    return options.buildWorkerArgs
+               ? options.buildWorkerArgs(shard, quarantineList())
+               : defaultWorkerArgs(options, shard, quarantineList());
+  };
+  const auto backoffFor = [&](const ShardState& s) {
+    const unsigned exponent =
+        std::min(s.launches > 0 ? s.launches - 1 : 0u, 6u);
+    return std::chrono::milliseconds(options.restartBackoffMs << exponent);
+  };
+
+  // One strike per in-flight cell on an abnormal worker end. The cells a
+  // dead worker had started but not finished are the only suspects; a
+  // cell that later completes is absolved after the merge.
+  const auto strikeInFlight = [&](unsigned shardIndex, ShardState& s,
+                                  const core::ProcessExit& how) {
+    for (const std::uint64_t cell : s.inFlight) {
+      if (quarantinedSet.count(cell) != 0) continue;
+      const unsigned count = ++strikes[cell];
+      if (count < strikesToQuarantine) continue;
+      quarantinedSet.insert(cell);
+      QuarantinedCell q;
+      q.cell = cell;
+      q.shard = shardIndex;
+      q.strikes = count;
+      q.lastExit = how;
+      q.stalled = s.stallKilled;
+      report.quarantined.push_back(q);
+      std::fprintf(stderr,
+                   "warning: quarantining cell %llu (shard %u): worker died "
+                   "with %s %u time(s) while it was in flight\n",
+                   static_cast<unsigned long long>(cell), shardIndex,
+                   how.toString().c_str(), count);
+    }
+    s.inFlight.clear();
+  };
+
+  const auto handleLine = [&](ShardState& s, std::string_view line) {
+    if (line.empty()) return;
+    const char tag = line[0];
+    std::uint64_t value = 0;
+    if (tag == 'S' || tag == 'D' || tag == 'R') {
+      if (line.size() <= 2) return;  // garbled; traffic already proves life
+      for (const char ch : line.substr(2)) {
+        if (ch < '0' || ch > '9') return;
+        value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+      }
+    }
+    switch (tag) {
+      case 'S':
+        s.inFlight.insert(value);
+        break;
+      case 'D':
+        s.inFlight.erase(value);
+        strikes.erase(value);  // completion wipes the record clean
+        completed.insert(value);
+        break;
+      case 'R':
+        s.reportedRetries = value;
+        break;
+      default:
+        break;  // 'H' and anything unknown: traffic already proves life
+    }
+  };
+
+  const auto pumpShard = [&](ShardState& s) {
+    const int n = s.proc.readHeartbeat(s.rx);
+    if (n > 0) s.lastTraffic = Clock::now();
+    std::size_t begin = 0;
+    for (;;) {
+      const std::size_t eol = s.rx.find('\n', begin);
+      if (eol == std::string::npos) break;
+      handleLine(s, std::string_view(s.rx).substr(begin, eol - begin));
+      begin = eol + 1;
+    }
+    s.rx.erase(0, begin);
+  };
+
+  const auto progressLine = [&](const char* event) {
+    if (!options.progress) return;
+    std::uint64_t retries = 0;
+    for (const ShardState& s : shards) retries += s.reportedRetries;
+    std::fprintf(stderr,
+                 "shards: %zu/%zu cells, %u restart(s), %zu quarantined%s%s\n",
+                 completed.size(), options.cellCount, report.restarts,
+                 quarantinedSet.size(), *event != '\0' ? " — " : "", event);
+  };
+
+  auto lastProgress = Clock::now();
+  for (;;) {
+    bool allFinished = true;
+    for (const ShardState& s : shards) allFinished &= s.finished;
+    if (allFinished || !failure.isOk()) break;
+
+    const auto now = Clock::now();
+
+    // (Re)spawn shards that are due.
+    for (unsigned i = 0; i < options.shards; ++i) {
+      ShardState& s = shards[i];
+      if (s.finished || s.running || now < s.nextSpawn) continue;
+      ++s.launches;
+      core::StatusOr<core::Subprocess> spawned =
+          core::Subprocess::spawn(options.binary, buildArgs(i));
+      if (!spawned.isOk()) {
+        std::fprintf(stderr, "warning: shard %u spawn failed: %s\n", i,
+                     spawned.status().toString().c_str());
+        ++report.restarts;
+        if (s.launches > restartBudget) {
+          failure = core::Status::ioError(
+              "shard " + std::to_string(i) + " exhausted its restart budget (" +
+              std::to_string(restartBudget) + ")");
+          break;
+        }
+        s.nextSpawn = now + backoffFor(s);
+        continue;
+      }
+      s.proc = std::move(spawned).value();
+      s.running = true;
+      s.stallKilled = false;
+      s.lastTraffic = now;
+      s.rx.clear();
+      s.inFlight.clear();
+    }
+    if (!failure.isOk()) break;
+
+    // Sleep on the heartbeat fds (100 ms cap keeps backoff gates live).
+    std::vector<pollfd> fds;
+    fds.reserve(options.shards);
+    for (ShardState& s : shards) {
+      if (s.running && s.proc.heartbeatFd() >= 0) {
+        fds.push_back(pollfd{s.proc.heartbeatFd(), POLLIN, 0});
+      }
+    }
+    if (!fds.empty()) {
+      (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()), 100);
+    } else {
+      struct timespec ts {0, 20 * 1000 * 1000};
+      (void)::nanosleep(&ts, nullptr);
+    }
+
+    // Pump heartbeats, reap deaths, kill stalls.
+    const auto afterPoll = Clock::now();
+    for (unsigned i = 0; i < options.shards; ++i) {
+      ShardState& s = shards[i];
+      if (!s.running) continue;
+      pumpShard(s);
+      if (std::optional<core::ProcessExit> end = s.proc.poll()) {
+        pumpShard(s);  // drain protocol lines that raced the death
+        s.running = false;
+        if (end->clean()) {
+          s.finished = true;
+          s.inFlight.clear();
+          progressLine(("shard " + std::to_string(i) + " finished").c_str());
+          continue;
+        }
+        strikeInFlight(i, s, *end);
+        ++report.restarts;
+        std::fprintf(stderr,
+                     "warning: shard %u worker ended with %s%s; restarting\n",
+                     i, end->toString().c_str(),
+                     s.stallKilled ? " (heartbeat stall)" : "");
+        if (s.launches > restartBudget) {
+          failure = core::Status::ioError(
+              "shard " + std::to_string(i) + " exhausted its restart budget (" +
+              std::to_string(restartBudget) + ")");
+          continue;
+        }
+        s.nextSpawn = afterPoll + backoffFor(s);
+        continue;
+      }
+      const double silentFor =
+          std::chrono::duration<double>(afterPoll - s.lastTraffic).count();
+      if (options.heartbeatTimeoutSec > 0 &&
+          silentFor > options.heartbeatTimeoutSec && !s.stallKilled) {
+        std::fprintf(stderr,
+                     "warning: shard %u silent for %.1fs; killing worker\n", i,
+                     silentFor);
+        s.stallKilled = true;
+        s.proc.kill(SIGKILL);  // reaped by poll() next iteration
+      }
+    }
+
+    if (options.progress &&
+        afterPoll - lastProgress >= std::chrono::seconds(2)) {
+      lastProgress = afterPoll;
+      progressLine("");
+    }
+  }
+
+  // Merge the per-shard snapshots into the base checkpoint — fixed
+  // order (base first when resuming, then shard 0..N-1) so the merged
+  // file is byte-stable. Runs even on budget exhaustion: whatever the
+  // shards completed must survive.
+  std::vector<std::string> paths;
+  if (options.resumeBase) paths.push_back(options.checkpointBase);
+  for (unsigned i = 0; i < options.shards; ++i) {
+    paths.push_back(shardCheckpointPath(options.checkpointBase, i));
+  }
+  core::StatusOr<GridCheckpoint> merged = mergeSnapshots(paths);
+  if (merged.isOk()) {
+    // Absolution: a quarantined cell whose payload made it into a shard
+    // snapshot did complete — its D line was lost (dropped heartbeat),
+    // not its computation. Serving it from the snapshot keeps the final
+    // CSV byte-identical to an unsharded run.
+    auto& quarantined = report.quarantined;
+    for (auto it = quarantined.begin(); it != quarantined.end();) {
+      if (merged.value().payload(it->cell) != nullptr) {
+        report.absolved.push_back(it->cell);
+        completed.insert(it->cell);
+        it = quarantined.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (const core::Status s =
+            merged.value().saveTo(options.checkpointBase);
+        !s.isOk()) {
+      std::fprintf(stderr, "warning: shard merge save failed: %s\n",
+                   s.toString().c_str());
+    }
+  } else if (failure.isOk()) {
+    // No snapshot anywhere usually means the campaign is tiny enough
+    // that workers finished without autosaving — finish() always saves,
+    // so this is rare. The final in-process pass recomputes; only byte
+    // identity with a *crashy* run is at risk, correctness is not.
+    std::fprintf(stderr, "warning: shard merge produced nothing: %s\n",
+                 merged.status().toString().c_str());
+  }
+
+  report.cellsDone = completed.size();
+  if (!failure.isOk()) return failure;
+  return report;
+}
+
+#else  // _WIN32
+
+core::StatusOr<ShardReport> runShardSupervisor(
+    const ShardSupervisorOptions&) {
+  return core::Status::internal(
+      "sharded campaign supervision is POSIX-only");
+}
+
+#endif
+
+}  // namespace oisa::experiments

@@ -1,0 +1,214 @@
+// oisa_experiments: process-isolated sharded campaigns.
+//
+// PR 7 made grid cells resumable, retryable, typed-failure units — but
+// one wild pointer, OOM kill or hung wheel still took the whole process
+// (and the whole campaign) with it. This layer adds crash *containment*:
+//
+//   supervisor                         worker i (same binary, re-invoked
+//   (the CLI invoked with --shards=N)   with --shard-worker=i/N)
+//   ──────────────────────────────     ─────────────────────────────────
+//   partitions the grid into N         runs only the cells its slice
+//   disjoint round-robin slices,       owns (cell % N == i), resuming
+//   spawns one worker per shard        from its own snapshot
+//   (core::Subprocess), monitors        <base>.shard<i>, and reports
+//   each over a heartbeat pipe    <──  "S <cell>" / "D <cell>" / "H"
+//                                      lines upstream
+//
+// A worker that exits nonzero, dies on a signal, or goes silent past
+// the heartbeat deadline is restarted with exponential backoff; its
+// checkpoint makes the restart cheap (completed cells reload). A cell
+// that is in flight when its worker dies collects a *strike*; at K
+// consecutive strikes (completing the cell erases them) the cell is
+// quarantined — skipped by every later worker incarnation and reported
+// with its shard, signal and strike count — so one poison cell cannot
+// wedge a campaign. When every shard finishes, the supervisor merges
+// the per-shard snapshots in fixed shard order into the base checkpoint
+// and the CLI reruns the campaign in-process against the merged
+// snapshot: every surviving cell is served from the snapshot, so the
+// final CSV is byte-identical to an uninterrupted --shards=1 run.
+//
+// Fault sites: "worker.spawn" fails the fork/exec (supervisor retries
+// with backoff), "worker.heartbeat" swallows worker→supervisor protocol
+// writes (the supervisor sees silence and stall-kills). The
+// OISA_ABORT_ON_CELL=<cell> hook (experiments/runner.cpp) turns one
+// grid cell into deterministic poison for quarantine tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "core/subprocess.h"
+
+namespace oisa::experiments {
+
+// --- cell ownership ----------------------------------------------------
+
+/// Which cells of a campaign grid this process computes. Workers own a
+/// round-robin residue class (cell % count == index) — striding spreads
+/// the expensive designs evenly across shards — minus the quarantined
+/// cells; the default-constructed slice owns everything.
+struct ShardSlice {
+  unsigned index = 0;
+  unsigned count = 1;
+  std::vector<std::uint64_t> skipCells;  ///< sorted; quarantined cells
+
+  [[nodiscard]] bool owns(std::uint64_t cell) const noexcept;
+  /// Cells of [0, cellCount) this slice owns.
+  [[nodiscard]] std::size_t ownedCells(std::size_t cellCount) const noexcept;
+};
+
+/// "<i>/<N>" as passed via --shard-worker (InvalidInput on nonsense).
+struct ShardWorkerSpec {
+  unsigned index = 0;
+  unsigned count = 1;
+  [[nodiscard]] static core::StatusOr<ShardWorkerSpec> parse(
+      const std::string& text);
+};
+
+/// Shard i's private snapshot path: `<base>.shard<i>`.
+[[nodiscard]] std::string shardCheckpointPath(const std::string& base,
+                                              unsigned shard);
+
+/// "3,17,25" <-> sorted cell list (used by --quarantine; InvalidInput on
+/// malformed text).
+[[nodiscard]] core::StatusOr<std::vector<std::uint64_t>> parseCellList(
+    const std::string& text);
+[[nodiscard]] std::string formatCellList(
+    const std::vector<std::uint64_t>& cells);
+
+// --- worker-side heartbeat --------------------------------------------
+
+/// Writes newline-framed protocol messages to the supervisor's pipe:
+/// "S <cell>" when a cell starts, "D <cell>" when it completes,
+/// "R <total>" cumulative retries, "H" bare liveness tick. Every write
+/// is one short line (atomic under PIPE_BUF). The "worker.heartbeat"
+/// fault site drops lines before the write — to the supervisor the
+/// worker goes silent, which is exactly the stall the deadline catches.
+class HeartbeatEmitter {
+ public:
+  explicit HeartbeatEmitter(int fd) : fd_(fd) {}
+
+  /// Reads OISA_HEARTBEAT_FD (set by core::Subprocess::spawn); null when
+  /// this process is not a supervised worker. Ignores SIGPIPE so a dead
+  /// supervisor degrades to ordinary write errors.
+  [[nodiscard]] static std::unique_ptr<HeartbeatEmitter> fromEnv();
+
+  void cellStart(std::uint64_t cell);
+  void cellDone(std::uint64_t cell);
+  void retries(std::uint64_t total);
+  void tick();
+
+ private:
+  void writeLine(const std::string& line);
+
+  int fd_ = -1;
+  std::mutex mutex_;
+  bool broken_ = false;
+};
+
+// --- grid-loop monitor -------------------------------------------------
+
+/// One object fusing the two consumers of grid-loop progress: the
+/// `--progress` stderr heartbeat (cells done/total, retries, ETA) and a
+/// shard worker's upstream HeartbeatEmitter. A background ticker keeps
+/// both alive through long cells (liveness ticks every ~500 ms, progress
+/// lines at most every ~2 s). Thread-safe; constructed per campaign run
+/// by runCampaignGrid.
+class CampaignMonitor {
+ public:
+  CampaignMonitor(std::size_t totalCells, bool progressToStderr,
+                  HeartbeatEmitter* heartbeat);
+  ~CampaignMonitor();
+
+  CampaignMonitor(const CampaignMonitor&) = delete;
+  CampaignMonitor& operator=(const CampaignMonitor&) = delete;
+
+  void cellStart(std::uint64_t cell);
+  void cellDone(std::uint64_t cell);
+  /// Wired into RunPolicy::retryCounter by the grid loop.
+  [[nodiscard]] std::atomic<std::uint64_t>* retryCounter() noexcept {
+    return &retries_;
+  }
+
+ private:
+  void tickerLoop();
+  void printProgress();
+
+  std::size_t total_;
+  bool progress_;
+  HeartbeatEmitter* heartbeat_;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::uint64_t reportedRetries_ = 0;  ///< ticker-only
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point lastPrint_;
+  std::mutex mutex_;
+  std::condition_variable stopCv_;
+  bool stop_ = false;
+  std::thread ticker_;
+};
+
+// --- supervisor --------------------------------------------------------
+
+/// Supervisor controls (CLI surface: --shards, --shard-strikes,
+/// --shard-timeout, --shard-backoff).
+struct ShardSupervisorOptions {
+  unsigned shards = 2;
+  std::string binary;                    ///< path re-invoked per worker
+  std::vector<std::string> workerArgs;   ///< forwarded base argv (no shard flags)
+  std::string checkpointBase;            ///< merged snapshot path (required)
+  bool resumeBase = false;               ///< fold an existing base snapshot in
+  std::size_t cellCount = 0;             ///< grid size (budget/progress)
+  unsigned maxCellStrikes = 3;           ///< K: strikes before quarantine
+  double heartbeatTimeoutSec = 30.0;     ///< silence before a stall-kill
+  std::uint64_t restartBackoffMs = 200;  ///< base of the exponential backoff
+  /// Restart budget per shard; 0 = automatic (strikes * cells-per-shard
+  /// + slack), the bound under which quarantine guarantees progress.
+  unsigned maxRestartsPerShard = 0;
+  bool progress = false;  ///< aggregate progress lines on stderr
+  /// Test seam: assembles worker argv for one shard given the current
+  /// quarantine list. Defaults to the standard flag assembly
+  /// (--shard-worker=i/N --checkpoint=<base> --resume [--quarantine=...]).
+  std::function<std::vector<std::string>(
+      unsigned shard, const std::vector<std::uint64_t>& quarantined)>
+      buildWorkerArgs;
+};
+
+/// One quarantined cell, reported GridError-style.
+struct QuarantinedCell {
+  std::uint64_t cell = 0;
+  unsigned shard = 0;
+  unsigned strikes = 0;
+  core::ProcessExit lastExit;  ///< how the final strike's worker died
+  bool stalled = false;        ///< that death was a heartbeat stall-kill
+};
+
+/// What the supervision run did.
+struct ShardReport {
+  std::vector<QuarantinedCell> quarantined;  ///< skip these campaign-wide
+  /// Cells struck (in flight at a worker death) that later completed —
+  /// their snapshots exist, so they were false suspects, not poison.
+  std::vector<std::uint64_t> absolved;
+  unsigned restarts = 0;          ///< abnormal worker ends, all shards
+  std::uint64_t cellsDone = 0;    ///< distinct completions observed
+};
+
+/// Runs the whole supervision loop: spawn one worker per shard, pump
+/// heartbeats, stall-kill, restart with backoff, quarantine at K
+/// strikes, and finally merge the per-shard snapshots (fixed shard
+/// order, base snapshot first when resumeBase) into checkpointBase.
+/// Returns IoError when a shard exhausts its restart budget — the
+/// completed cells are still merged into the base snapshot first.
+[[nodiscard]] core::StatusOr<ShardReport> runShardSupervisor(
+    const ShardSupervisorOptions& options);
+
+}  // namespace oisa::experiments

@@ -118,6 +118,43 @@ TEST(CliTest, DiagnosesMalformedValues) {
   EXPECT_THROW((void)args2.getU64("seed", 0), oisa::core::StatusError);
 }
 
+TEST(CliTest, PositiveU64RejectsZeroByName) {
+  // --checkpoint-every=0 would disable autosaving while claiming to
+  // checkpoint, and --shards=0 has no meaning: both are rejected up
+  // front with a diagnostic naming the flag.
+  const char* argv[] = {"prog", "--checkpoint-every=0", "--shards=4"};
+  const ArgParser args(3, argv);
+  try {
+    (void)args.getPositiveU64("checkpoint-every", 8);
+    FAIL() << "expected StatusError";
+  } catch (const oisa::core::StatusError& e) {
+    EXPECT_EQ(e.status().code(), oisa::core::StatusCode::InvalidInput);
+    EXPECT_NE(e.status().message().find("--checkpoint-every"),
+              std::string::npos);
+  }
+  // Positive values and absent-flag fallbacks pass through unchanged.
+  EXPECT_EQ(args.getPositiveU64("shards", 1), 4u);
+  EXPECT_EQ(args.getPositiveU64("missing", 7), 7u);
+}
+
+TEST(CliTest, PositiveU64KeepsTheUnsignedDiagnostics) {
+  // Negative spellings hit getU64's unsigned rejection first, so
+  // --retries=-1 and --shards=-2 fail with the same named diagnostic
+  // shape as every other unsigned flag.
+  const char* argv[] = {"prog", "--retries=-1", "--shards=banana"};
+  const ArgParser args(3, argv);
+  try {
+    (void)args.getU64("retries", 1);
+    FAIL() << "expected StatusError";
+  } catch (const oisa::core::StatusError& e) {
+    EXPECT_EQ(e.status().code(), oisa::core::StatusCode::InvalidInput);
+    EXPECT_NE(e.status().message().find("--retries"), std::string::npos);
+    EXPECT_NE(e.status().message().find("-1"), std::string::npos);
+  }
+  EXPECT_THROW((void)args.getPositiveU64("shards", 1),
+               oisa::core::StatusError);
+}
+
 TEST(ReportTest, TableAlignsAndEmitsCsv) {
   Table table({"design", "value"});
   table.addRow({"(8,0,0,4)", "1.5e-02"});

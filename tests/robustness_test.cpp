@@ -271,4 +271,32 @@ TEST(ModelIntegrityTest, EnvelopesConcatenateOnOneStream) {
   EXPECT_EQ(first.value().trees().size(), second.value().trees().size());
 }
 
+// --- fault-plan hygiene ------------------------------------------------
+
+TEST(FaultPlanHygieneTest, ArmedButNeverHitSitesAreListed) {
+  namespace fi = oisa::core::fault_inject;
+  // A plan with a typo'd site name would silently inject nothing — the
+  // registry tracks which armed rules no shouldFail() ever reached (the
+  // same list the at-exit warning prints).
+  ScopedFaultPlan plan("file.open:1,worker.spwan:*");  // note the typo
+  EXPECT_EQ(fi::armedUnhitSites(),
+            (std::vector<std::string>{"file.open", "worker.spwan"}));
+  // Hitting a site removes it from the unhit list, even when this
+  // particular hit was not scheduled to fail.
+  (void)fi::shouldFail(fi::kFileOpen);
+  EXPECT_EQ(fi::armedUnhitSites(),
+            (std::vector<std::string>{"worker.spwan"}));
+  EXPECT_EQ(fi::hitCount(fi::kFileOpen), 1u);
+}
+
+TEST(FaultPlanHygieneTest, ResetClearsTheUnhitList) {
+  namespace fi = oisa::core::fault_inject;
+  {
+    ScopedFaultPlan plan("checkpoint.write:3");
+    EXPECT_FALSE(fi::armedUnhitSites().empty());
+  }
+  // Disarmed: nothing is pending, so nothing can warn at exit.
+  EXPECT_TRUE(fi::armedUnhitSites().empty());
+}
+
 }  // namespace

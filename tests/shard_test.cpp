@@ -1,0 +1,442 @@
+// Sharded-campaign tests: slice partitioning, worker-spec and cell-list
+// parsing, the heartbeat protocol, and the full supervisor loop driven
+// by fake workers — clean completion, crash-restart-resume, spawn-fault
+// retry, poison-cell quarantine, lost-D absolution and restart-budget
+// exhaustion.
+//
+// This binary provides its own main(): re-invoked with --fake-worker it
+// becomes a scriptable shard worker (complete cells, crash on cue, drop
+// protocol lines), which is how the supervisor tests exercise real
+// fork/exec, real SIGABRT deaths and real snapshot merging without the
+// cost of a real campaign.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fault_inject.h"
+#include "core/status.h"
+#include "core/subprocess.h"
+#include "experiments/checkpoint.h"
+#include "experiments/cli.h"
+#include "experiments/shard.h"
+
+namespace {
+
+using oisa::core::ProcessExit;
+using oisa::core::ScopedFaultPlan;
+using oisa::core::StatusCode;
+using oisa::experiments::formatCellList;
+using oisa::experiments::GridCheckpoint;
+using oisa::experiments::HeartbeatEmitter;
+using oisa::experiments::parseCellList;
+using oisa::experiments::PayloadReader;
+using oisa::experiments::PayloadWriter;
+using oisa::experiments::QuarantinedCell;
+using oisa::experiments::runShardSupervisor;
+using oisa::experiments::shardCheckpointPath;
+using oisa::experiments::ShardReport;
+using oisa::experiments::ShardSlice;
+using oisa::experiments::ShardSupervisorOptions;
+using oisa::experiments::ShardWorkerSpec;
+
+constexpr std::uint64_t kFakeFingerprint = 0xF00DF00Dull;
+constexpr std::uint64_t kNoCell = ~std::uint64_t{0};
+
+std::string gSelfPath;  // set in main() before RUN_ALL_TESTS
+
+// Fresh checkpoint base path: stale snapshots from a previous run would
+// let fake workers resume instead of exercising their crash cues.
+std::string tempBase(const std::string& name) {
+  const std::string base = testing::TempDir() + "oisa_shard_" + name + ".bin";
+  std::remove(base.c_str());
+  for (unsigned i = 0; i < 8; ++i) {
+    std::remove(shardCheckpointPath(base, i).c_str());
+  }
+  return base;
+}
+
+// --- slice / spec / cell-list units ------------------------------------
+
+TEST(ShardSliceTest, RoundRobinPartitionIsDisjointAndComplete) {
+  constexpr unsigned kShards = 3;
+  constexpr std::uint64_t kCells = 17;
+  std::size_t totalOwned = 0;
+  for (std::uint64_t cell = 0; cell < kCells; ++cell) {
+    unsigned owners = 0;
+    for (unsigned i = 0; i < kShards; ++i) {
+      const ShardSlice slice{i, kShards, {}};
+      owners += slice.owns(cell) ? 1 : 0;
+    }
+    EXPECT_EQ(owners, 1u) << "cell " << cell;  // disjoint cover
+  }
+  for (unsigned i = 0; i < kShards; ++i) {
+    totalOwned += ShardSlice{i, kShards, {}}.ownedCells(kCells);
+  }
+  EXPECT_EQ(totalOwned, kCells);
+}
+
+TEST(ShardSliceTest, DefaultSliceOwnsEverything) {
+  const ShardSlice slice;
+  for (std::uint64_t cell : {0ull, 1ull, 99ull, 12345ull}) {
+    EXPECT_TRUE(slice.owns(cell));
+  }
+  EXPECT_EQ(slice.ownedCells(1000), 1000u);
+}
+
+TEST(ShardSliceTest, SkipCellsAreNeverOwned) {
+  ShardSlice slice{1, 2, {3, 7}};  // owns odd cells minus the skip list
+  EXPECT_TRUE(slice.owns(1));
+  EXPECT_TRUE(slice.owns(5));
+  EXPECT_FALSE(slice.owns(3));  // quarantined
+  EXPECT_FALSE(slice.owns(7));  // quarantined
+  EXPECT_FALSE(slice.owns(4));  // other shard's residue class
+  EXPECT_EQ(slice.ownedCells(10), 3u);  // 1, 5, 9
+  // A skip list also bites with count == 1 (the post-merge final pass).
+  const ShardSlice finalPass{0, 1, {5}};
+  EXPECT_FALSE(finalPass.owns(5));
+  EXPECT_EQ(finalPass.ownedCells(10), 9u);
+}
+
+TEST(ShardWorkerSpecTest, ParsesIndexSlashCount) {
+  const auto spec = ShardWorkerSpec::parse("2/4");
+  ASSERT_TRUE(spec.isOk());
+  EXPECT_EQ(spec.value().index, 2u);
+  EXPECT_EQ(spec.value().count, 4u);
+}
+
+TEST(ShardWorkerSpecTest, RejectsNonsense) {
+  for (const char* bad : {"", "3", "/4", "4/", "4/4", "5/4", "a/b", "1/0",
+                          "1/2/3", "-1/4", "2097153/2097154"}) {
+    const auto spec = ShardWorkerSpec::parse(bad);
+    EXPECT_FALSE(spec.isOk()) << "'" << bad << "'";
+    EXPECT_EQ(spec.status().code(), StatusCode::InvalidInput);
+    // The diagnostic names the flag and echoes the offending text.
+    EXPECT_NE(spec.status().message().find("--shard-worker"),
+              std::string::npos);
+  }
+}
+
+TEST(CellListTest, ParsesSortsAndDeduplicates) {
+  const auto cells = parseCellList("25,3,17,3");
+  ASSERT_TRUE(cells.isOk());
+  EXPECT_EQ(cells.value(), (std::vector<std::uint64_t>{3, 17, 25}));
+  EXPECT_EQ(formatCellList(cells.value()), "3,17,25");
+  const auto empty = parseCellList("");
+  ASSERT_TRUE(empty.isOk());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST(CellListTest, RoundTripsThroughFormat) {
+  const std::vector<std::uint64_t> cells{0, 7, 42, 1000000};
+  const auto back = parseCellList(formatCellList(cells));
+  ASSERT_TRUE(back.isOk());
+  EXPECT_EQ(back.value(), cells);
+}
+
+TEST(CellListTest, RejectsMalformedItems) {
+  for (const char* bad : {"3,x", "1,2,-3", "0x10"}) {
+    const auto cells = parseCellList(bad);
+    EXPECT_FALSE(cells.isOk()) << "'" << bad << "'";
+    EXPECT_EQ(cells.status().code(), StatusCode::InvalidInput);
+  }
+}
+
+TEST(ShardPathTest, AppendsShardSuffix) {
+  EXPECT_EQ(shardCheckpointPath("/tmp/run.bin", 0), "/tmp/run.bin.shard0");
+  EXPECT_EQ(shardCheckpointPath("/tmp/run.bin", 12), "/tmp/run.bin.shard12");
+}
+
+// --- heartbeat emitter --------------------------------------------------
+
+std::string readAll(int fd) {
+  std::string out;
+  char buf[256];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+TEST(HeartbeatEmitterTest, WritesNewlineFramedProtocolLines) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  {
+    HeartbeatEmitter hb(fds[1]);
+    hb.cellStart(7);
+    hb.cellDone(7);
+    hb.retries(2);
+    hb.tick();
+  }
+  ::close(fds[1]);
+  EXPECT_EQ(readAll(fds[0]), "S 7\nD 7\nR 2\nH\n");
+  ::close(fds[0]);
+}
+
+TEST(HeartbeatEmitterTest, FaultSiteDropsLinesSilently) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  {
+    ScopedFaultPlan plan("worker.heartbeat:2+");
+    HeartbeatEmitter hb(fds[1]);
+    hb.cellStart(9);  // hit 1: delivered
+    hb.cellDone(9);   // hit 2+: dropped — the worker looks dead upstream
+    hb.tick();
+  }
+  ::close(fds[1]);
+  EXPECT_EQ(readAll(fds[0]), "S 9\n");
+  ::close(fds[0]);
+}
+
+// --- supervisor with fake workers --------------------------------------
+
+struct FakeFleet {
+  unsigned shards = 2;
+  std::uint64_t cells = 8;
+  std::string base;
+  std::vector<std::string> extraArgs;  ///< crash cues for every worker
+
+  ShardSupervisorOptions options() const {
+    ShardSupervisorOptions sup;
+    sup.shards = shards;
+    sup.binary = gSelfPath;
+    sup.checkpointBase = base;
+    sup.cellCount = cells;
+    sup.heartbeatTimeoutSec = 0;  // stall-kill off: aborts drive these tests
+    sup.restartBackoffMs = 1;     // keep restart loops fast
+    const std::uint64_t cellCount = cells;
+    const unsigned shardCount = shards;
+    const std::string basePath = base;
+    const std::vector<std::string> extra = extraArgs;
+    sup.buildWorkerArgs = [cellCount, shardCount, basePath, extra](
+                              unsigned shard,
+                              const std::vector<std::uint64_t>& quarantined) {
+      std::vector<std::string> args{
+          "--fake-worker",
+          "--shard-worker=" + std::to_string(shard) + "/" +
+              std::to_string(shardCount),
+          "--base=" + basePath, "--cells=" + std::to_string(cellCount)};
+      if (!quarantined.empty()) {
+        args.push_back("--quarantine=" + formatCellList(quarantined));
+      }
+      args.insert(args.end(), extra.begin(), extra.end());
+      return args;
+    };
+    return sup;
+  }
+};
+
+// The payload the fake worker records for `cell` (mirrored in
+// fakeWorkerMain below).
+std::uint64_t fakePayloadValue(std::uint64_t cell) { return cell * 3 + 1; }
+
+void expectMergedSnapshotComplete(const std::string& base,
+                                  std::uint64_t cells,
+                                  const std::set<std::uint64_t>& missing) {
+  const auto merged = GridCheckpoint::loadFrom(base);
+  ASSERT_TRUE(merged.isOk()) << merged.status().toString();
+  EXPECT_EQ(merged.value().fingerprint(), kFakeFingerprint);
+  EXPECT_EQ(merged.value().cellCount(), cells);
+  for (std::uint64_t cell = 0; cell < cells; ++cell) {
+    const std::string* payload = merged.value().payload(cell);
+    if (missing.count(cell) != 0) {
+      EXPECT_EQ(payload, nullptr) << "cell " << cell;
+      continue;
+    }
+    ASSERT_NE(payload, nullptr) << "cell " << cell;
+    PayloadReader r(*payload);
+    EXPECT_EQ(r.u64(), fakePayloadValue(cell));
+    EXPECT_TRUE(r.ok() && r.atEnd());
+  }
+}
+
+TEST(ShardSupervisorTest, CleanRunCompletesAndMergesAllCells) {
+  FakeFleet fleet;
+  fleet.base = tempBase("clean");
+  const auto report = runShardSupervisor(fleet.options());
+  ASSERT_TRUE(report.isOk()) << report.status().toString();
+  EXPECT_EQ(report.value().restarts, 0u);
+  EXPECT_TRUE(report.value().quarantined.empty());
+  EXPECT_TRUE(report.value().absolved.empty());
+  EXPECT_EQ(report.value().cellsDone, fleet.cells);
+  expectMergedSnapshotComplete(fleet.base, fleet.cells, {});
+}
+
+TEST(ShardSupervisorTest, CrashedWorkerIsRestartedAndResumes) {
+  FakeFleet fleet;
+  fleet.base = tempBase("crash_once");
+  // Every worker aborts after its first fresh cell — but only on its
+  // first incarnation (a resumed snapshot disables the cue), so each
+  // shard needs exactly one restart and its second life resumes the
+  // completed cell instead of recomputing it.
+  fleet.extraArgs = {"--crash-after-first"};
+  const auto report = runShardSupervisor(fleet.options());
+  ASSERT_TRUE(report.isOk()) << report.status().toString();
+  EXPECT_EQ(report.value().restarts, fleet.shards);
+  EXPECT_TRUE(report.value().quarantined.empty());
+  EXPECT_EQ(report.value().cellsDone, fleet.cells);
+  expectMergedSnapshotComplete(fleet.base, fleet.cells, {});
+}
+
+TEST(ShardSupervisorTest, SpawnFaultIsRetriedWithBackoff) {
+  FakeFleet fleet;
+  fleet.base = tempBase("spawn_fault");
+  ScopedFaultPlan plan("worker.spawn:1");  // first fork/exec fails
+  const auto report = runShardSupervisor(fleet.options());
+  ASSERT_TRUE(report.isOk()) << report.status().toString();
+  EXPECT_EQ(report.value().restarts, 1u);  // the failed spawn, retried
+  EXPECT_EQ(report.value().cellsDone, fleet.cells);
+  expectMergedSnapshotComplete(fleet.base, fleet.cells, {});
+}
+
+TEST(ShardSupervisorTest, PoisonCellIsQuarantinedAfterKStrikes) {
+  FakeFleet fleet;
+  fleet.base = tempBase("poison");
+  fleet.extraArgs = {"--poison=5"};  // SIGABRT whenever cell 5 is started
+  auto options = fleet.options();
+  options.maxCellStrikes = 2;
+  const auto report = runShardSupervisor(options);
+  ASSERT_TRUE(report.isOk()) << report.status().toString();
+  ASSERT_EQ(report.value().quarantined.size(), 1u);
+  const QuarantinedCell& q = report.value().quarantined.front();
+  EXPECT_EQ(q.cell, 5u);
+  EXPECT_EQ(q.shard, 5u % fleet.shards);
+  EXPECT_EQ(q.strikes, 2u);
+  EXPECT_EQ(q.lastExit.kind, ProcessExit::Kind::Signaled);
+  EXPECT_EQ(q.lastExit.signal, SIGABRT);
+  EXPECT_FALSE(q.stalled);
+  EXPECT_EQ(report.value().cellsDone, fleet.cells - 1);
+  // Every healthy cell survives; only the poison cell is missing.
+  expectMergedSnapshotComplete(fleet.base, fleet.cells, {5});
+}
+
+TEST(ShardSupervisorTest, LostDoneLineIsAbsolvedAfterMerge) {
+  FakeFleet fleet;
+  fleet.base = tempBase("absolve");
+  // The worker completes cell 3 and saves its payload but dies before
+  // the "D 3" line: to the supervisor that is an in-flight death, so the
+  // cell is struck and (at one strike) quarantined — until the merge
+  // finds its payload and absolves it.
+  fleet.extraArgs = {"--drop-done=3"};
+  auto options = fleet.options();
+  options.maxCellStrikes = 1;
+  const auto report = runShardSupervisor(options);
+  ASSERT_TRUE(report.isOk()) << report.status().toString();
+  EXPECT_TRUE(report.value().quarantined.empty());
+  EXPECT_EQ(report.value().absolved,
+            (std::vector<std::uint64_t>{3}));
+  EXPECT_EQ(report.value().cellsDone, fleet.cells);
+  expectMergedSnapshotComplete(fleet.base, fleet.cells, {});
+}
+
+TEST(ShardSupervisorTest, RestartBudgetExhaustionIsIoError) {
+  FakeFleet fleet;
+  fleet.base = tempBase("budget");
+  fleet.extraArgs = {"--fail-always"};  // exit 1 before doing anything
+  auto options = fleet.options();
+  options.maxRestartsPerShard = 2;
+  const auto report = runShardSupervisor(options);
+  ASSERT_FALSE(report.isOk());
+  EXPECT_EQ(report.status().code(), StatusCode::IoError);
+  EXPECT_NE(report.status().message().find("restart budget"),
+            std::string::npos);
+}
+
+TEST(ShardSupervisorTest, RejectsUnusableOptions) {
+  ShardSupervisorOptions options;
+  options.binary = gSelfPath;
+  options.checkpointBase = "";  // merging needs a base path
+  auto report = runShardSupervisor(options);
+  ASSERT_FALSE(report.isOk());
+  EXPECT_EQ(report.status().code(), StatusCode::InvalidInput);
+
+  options.checkpointBase = tempBase("opts");
+  options.binary = "";
+  report = runShardSupervisor(options);
+  ASSERT_FALSE(report.isOk());
+  EXPECT_EQ(report.status().code(), StatusCode::InvalidInput);
+}
+
+// --- fake worker --------------------------------------------------------
+
+// The scriptable shard worker this binary becomes under --fake-worker.
+// Completes the cells its slice owns (resuming from its shard snapshot,
+// saving after every cell) and obeys crash cues:
+//   --crash-after-first  SIGABRT after the first fresh cell, first
+//                        incarnation only (restart/resume tests)
+//   --poison=C           SIGABRT whenever cell C starts (quarantine)
+//   --drop-done=C        complete + save cell C but die before its D
+//                        line (absolution)
+//   --fail-always        exit 1 immediately (restart-budget tests)
+int fakeWorkerMain(int argc, char** argv) {
+  using namespace oisa;
+  const experiments::ArgParser args(argc, argv);
+  if (args.getBool("fail-always", false)) return 1;
+
+  const auto spec =
+      experiments::ShardWorkerSpec::parse(
+          args.getString("shard-worker", "0/1"))
+          .valueOrThrow();
+  const std::string base = args.getString("base", "");
+  const std::uint64_t cells = args.getU64("cells", 0);
+  const std::uint64_t poison = args.getU64("poison", kNoCell);
+  const std::uint64_t dropDone = args.getU64("drop-done", kNoCell);
+
+  experiments::ShardSlice slice;
+  slice.index = spec.index;
+  slice.count = spec.count;
+  slice.skipCells =
+      experiments::parseCellList(args.getString("quarantine", ""))
+          .valueOrThrow();
+
+  const auto hb = HeartbeatEmitter::fromEnv();
+  const std::string path = shardCheckpointPath(base, spec.index);
+  GridCheckpoint snap(kFakeFingerprint, cells);
+  bool firstIncarnation = true;
+  if (auto loaded = GridCheckpoint::loadFrom(path); loaded.isOk()) {
+    firstIncarnation = loaded.value().completedCells() == 0;
+    snap = std::move(loaded).value();
+  }
+
+  bool completedFresh = false;
+  for (std::uint64_t cell = 0; cell < cells; ++cell) {
+    if (!slice.owns(cell)) continue;
+    if (snap.payload(cell) != nullptr) continue;
+    if (hb) hb->cellStart(cell);
+    if (cell == poison) std::abort();
+    PayloadWriter w;
+    w.u64(fakePayloadValue(cell));
+    snap.record(cell, w.take());
+    if (!snap.saveTo(path).isOk()) return 2;
+    if (cell == dropDone) std::abort();  // payload saved, D never sent
+    if (hb) hb->cellDone(cell);
+    if (completedFresh) continue;
+    completedFresh = true;
+    if (firstIncarnation && args.getBool("crash-after-first", false)) {
+      std::abort();
+    }
+  }
+  if (!snap.saveTo(path).isOk()) return 2;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--fake-worker") {
+      return fakeWorkerMain(argc, argv);
+    }
+  }
+  gSelfPath = oisa::core::selfExecutablePath(argv[0]);
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
