@@ -52,6 +52,19 @@ inline void applyRobustnessOptions(const experiments::ArgParser& args,
   run.progress = args.getBool("progress", false);
 }
 
+/// Model persistence flags of the prediction benches (fig7/fig8):
+///   --model-out=base   after fitting, save each cell's flat bank as
+///                      binary envelope v2 at <base>.<design>.cpr<N>.ffb
+///   --model-in=base    mmap-load each cell's bank from the same scheme
+///                      instead of collecting a training trace — rows
+///                      (and CSVs) are byte-identical to the trained run
+/// Both forward to shard workers: every worker owns its cells' banks.
+inline void applyModelOptions(const experiments::ArgParser& args,
+                              experiments::PredictionOptions& options) {
+  options.modelOut = args.getString("model-out", "");
+  options.modelIn = args.getString("model-in", "");
+}
+
 /// What setupSharding decided this process is.
 struct ShardContext {
   /// False in shard workers: they compute and checkpoint, the supervisor

@@ -7,7 +7,7 @@
 //                   [--checkpoint=path] [--resume] [--checkpoint-every=N]
 //                   [--retries=N] [--deadline=S] [--progress]
 //                   [--shards=N] [--shard-strikes=K] [--shard-timeout=S]
-//                   [--csv=path]
+//                   [--csv=path] [--model-out=base] [--model-in=base]
 #include "experiments/runner.h"
 
 #include "bench_common.h"
@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   options.predictor.forest.treeCount = args.getU64("trees", 10);
   options.predictor.forest.tree.maxDepth =
       static_cast<int>(args.getU64("depth", 10));
+  bench::applyModelOptions(args, options);
   const auto shard = bench::setupSharding(
       args, argv[0], options.run,
       designs.size() * bench::paperCprs().size());

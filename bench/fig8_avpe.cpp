@@ -8,6 +8,7 @@
 //                  [--resume] [--checkpoint-every=N] [--retries=N]
 //                  [--deadline=S] [--progress] [--shards=N]
 //                  [--shard-strikes=K] [--shard-timeout=S] [--csv=path]
+//                  [--model-out=base] [--model-in=base]
 #include "experiments/runner.h"
 
 #include "bench_common.h"
@@ -25,6 +26,7 @@ int main(int argc, char** argv) {
   options.run.threads = bench::threadsOption(args);
   bench::applyRobustnessOptions(args, options.run);
   options.predictor.forest.treeCount = args.getU64("trees", 10);
+  bench::applyModelOptions(args, options);
   const auto shard = bench::setupSharding(
       args, argv[0], options.run,
       designs.size() * bench::paperCprs().size());

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <thread>
 
 #include "core/bit_distribution.h"
@@ -22,6 +23,14 @@ namespace {
 std::unique_ptr<Workload> workloadFor(const RunOptions& options, int width,
                                       std::uint64_t seedOffset) {
   return makeWorkload(options.workload, width, options.seed + seedOffset);
+}
+
+/// Per-cell flat-bank path for PredictionOptions::modelOut / modelIn.
+std::string bankPath(const std::string& base, const std::string& design,
+                     double cpr) {
+  std::ostringstream os;
+  os << base << '.' << design << ".cpr" << cpr << ".ffb";
+  return os.str();
 }
 
 /// Everything every campaign fingerprint depends on: the cell grid
@@ -262,17 +271,38 @@ std::vector<PredictionRow> runPredictionEvaluation(
     // re-extraction here. Results are bit-identical to the sequential
     // per-trace pipeline (differential gates: bench/micro_lane_sim.cpp,
     // bench/micro_forest.cpp).
-    predict::BitLevelPredictor predictor(design.config.width,
-                                         options.predictor);
     TraceCollector collector(design, period);
-    auto trainWorkload = workloadFor(options.run, design.config.width, 1);
     auto testWorkload = workloadFor(options.run, design.config.width, 2);
-    const CollectedTrace train = collector.collectPacked(
-        *trainWorkload, options.trainCycles, predictor.extractor());
+    // modelIn short-circuits training entirely: the cell's bank mmaps in
+    // (envelope v2) and only the held-out stimulus is collected. Both
+    // arms evaluate through the same flat-bank batched sweep, so the
+    // rows — and any CSV written from them — are byte-identical.
+    predict::BitLevelPredictor predictor = [&] {
+      if (!options.modelIn.empty()) {
+        return predict::BitLevelPredictor::loadFlat(
+                   bankPath(options.modelIn, design.config.name(), cpr))
+            .valueOrThrow();
+      }
+      return predict::BitLevelPredictor(design.config.width,
+                                        options.predictor);
+    }();
+    if (predictor.width() != design.config.width) {
+      throw core::StatusError(core::Status(
+          core::StatusCode::InvalidInput,
+          "model bank width does not match design " + design.config.name()));
+    }
+    if (options.modelIn.empty()) {
+      auto trainWorkload = workloadFor(options.run, design.config.width, 1);
+      const CollectedTrace train = collector.collectPacked(
+          *trainWorkload, options.trainCycles, predictor.extractor());
+      predictor.fit(train.packed);
+      if (!options.modelOut.empty()) {
+        core::throwIfError(predictor.saveFlat(
+            bankPath(options.modelOut, design.config.name(), cpr)));
+      }
+    }
     const CollectedTrace test = collector.collectPacked(
         *testWorkload, options.testCycles, predictor.extractor());
-
-    predictor.fit(train.packed);
     const predict::PredictorEvaluation eval =
         predictor.evaluate(test.trace, test.packed);
 

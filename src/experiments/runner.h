@@ -94,6 +94,15 @@ struct PredictionOptions {
   std::uint64_t trainCycles = 12000;
   std::uint64_t testCycles = 6000;
   predict::PredictorParams predictor{};
+  /// When non-empty, each grid cell persists its trained bank as binary
+  /// envelope v2 at "<modelOut>.<design>.cpr<cpr>.ffb" after fitting.
+  std::string modelOut;
+  /// When non-empty, each grid cell mmap-loads its bank from
+  /// "<modelIn>.<design>.cpr<cpr>.ffb" instead of collecting a training
+  /// trace and fitting — the evaluation rows are bit-identical to the
+  /// trained run that wrote the banks (neither path is fingerprinted
+  /// into checkpoints for exactly that reason).
+  std::string modelIn;
 };
 
 /// Figs. 7-8: train the bit-level model per (design, CPR), evaluate ABPER

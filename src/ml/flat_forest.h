@@ -1,0 +1,144 @@
+// oisa_ml: flat, mmap-able forest banks — the serving-grade inference
+// substrate.
+//
+// A trained RandomForest is a vector of DecisionTree objects, each owning
+// its own node vector: three pointer hops per tree before the first node
+// is touched, and nothing about the layout survives serialization without
+// per-node parsing. FlatForestBank flattens a whole *bank* of forests
+// (the bit-level predictor's 33 per-output-bit forests) into one
+// structure-of-arrays arena:
+//
+//   feature[i]  int16   split feature of node i (-1 = leaf)
+//   left[i]     uint32  arena-absolute child when the feature is 0
+//   right[i]    uint32  arena-absolute child when the feature is 1
+//   prob[i]     float   P(positive) at node i (meaningful at leaves)
+//
+// plus a forest-major table of tree-root offsets. Children are always
+// appended after their parent (the growers' invariant, revalidated at
+// every trust boundary), so the arena is trivially acyclic and a walk
+// always terminates. The arrays are exactly what the binary model
+// envelope v2 (serialize.h) writes, so a saved bank loads by mmap with
+// zero per-node work: validate the header and CRC, then cast.
+//
+// Inference is bit-identical to the pointer forests: the scalar walk
+// takes the same branches, and the 64-lane masked walk accumulates leaf
+// probabilities tree by tree in the same order as
+// RandomForest::predictBatch (the explicit-stack traversal of
+// DecisionTree::accumulateLanes, re-rooted on the flat arrays).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+#include "ml/random_forest.h"
+
+namespace oisa::ml {
+
+/// Non-owning structure-of-arrays view over a whole bank arena. Spans
+/// point either at a FlatForestBank's vectors or straight into an mmap-ed
+/// model file (MappedForestBank).
+struct FlatBankView {
+  std::span<const std::int16_t> feature;
+  std::span<const std::uint32_t> left;
+  std::span<const std::uint32_t> right;
+  std::span<const float> prob;
+  /// All tree roots, forest-major (arena-absolute node indices).
+  std::span<const std::uint32_t> roots;
+  /// forestCount()+1 offsets into `roots`; forest f owns
+  /// roots[forestBegin[f] .. forestBegin[f+1]).
+  std::span<const std::uint32_t> forestBegin;
+  /// Exclusive upper bound on split-feature indices (row length the bank
+  /// was trained on).
+  std::uint32_t featureCount = 0;
+
+  [[nodiscard]] std::size_t forestCount() const noexcept {
+    return forestBegin.empty() ? 0 : forestBegin.size() - 1;
+  }
+  [[nodiscard]] std::size_t nodeCount() const noexcept {
+    return feature.size();
+  }
+};
+
+/// One forest of a flat bank: the arena spans plus this forest's slice of
+/// the root table. Cheap to construct per call; inference-only. Holds the
+/// view by value (it is only spans), so constructing from a temporary
+/// `bank.view()` is safe — the underlying arena must outlive the forest.
+class FlatForest {
+ public:
+  FlatForest(const FlatBankView& bank, std::size_t forest) noexcept
+      : bank_(bank),
+        roots_(bank.roots.subspan(
+            bank.forestBegin[forest],
+            bank.forestBegin[forest + 1] - bank.forestBegin[forest])) {}
+
+  [[nodiscard]] std::size_t treeCount() const noexcept {
+    return roots_.size();
+  }
+
+  /// Mean leaf probability over the trees — the scalar forest walk on
+  /// flat arrays, branch-for-branch RandomForest::probabilityUnchecked.
+  /// Precondition: treeCount() > 0.
+  [[nodiscard]] double probability(
+      std::span<const std::uint8_t> features) const noexcept;
+
+  [[nodiscard]] bool predict(
+      std::span<const std::uint8_t> features) const noexcept {
+    return probability(features) >= 0.5;
+  }
+
+  /// 64-lane masked forest walk: featureWords[f] carries feature f of
+  /// lane L in bit L. Accumulates each lane's leaf probability tree by
+  /// tree into sums[0..63] (caller-provided, NOT cleared here), divides
+  /// by the tree count, and returns the mask of lanes with probability
+  /// >= 0.5 — the same summation order as RandomForest::predictBatch, so
+  /// results match the pointer forests bit for bit. Allocation-free.
+  /// Precondition: treeCount() > 0, sums zero-filled by the caller.
+  [[nodiscard]] std::uint64_t predictWord(
+      std::span<const std::uint64_t> featureWords,
+      double* sums) const noexcept;
+
+ private:
+  void accumulateTreeLanes(std::uint32_t root, std::uint64_t mask,
+                           std::span<const std::uint64_t> featureWords,
+                           double* sums) const noexcept;
+
+  FlatBankView bank_;
+  std::span<const std::uint32_t> roots_;
+};
+
+/// Owning flat bank: builds the arena from trained pointer forests.
+class FlatForestBank {
+ public:
+  FlatForestBank() = default;
+
+  /// Flattens `forests` (all trained, all over rows of `featureCount`
+  /// features) into one arena. Tree and node order are preserved, so the
+  /// result is node-for-node the concatenation of the inputs with child
+  /// offsets rebased to the arena. Throws std::invalid_argument on an
+  /// untrained forest or an out-of-range split feature.
+  [[nodiscard]] static FlatForestBank build(
+      std::span<const RandomForest> forests, std::uint32_t featureCount);
+
+  [[nodiscard]] FlatBankView view() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return forestBegin_.empty(); }
+
+ private:
+  std::vector<std::int16_t> feature_;
+  std::vector<std::uint32_t> left_;
+  std::vector<std::uint32_t> right_;
+  std::vector<float> prob_;
+  std::vector<std::uint32_t> roots_;
+  std::vector<std::uint32_t> forestBegin_;
+  std::uint32_t featureCount_ = 0;
+};
+
+/// Structural validation of a (possibly just-cast) bank view: offset
+/// table shape, root/child bounds, split features within featureCount,
+/// and the children-follow-parent ordering that guarantees acyclic
+/// walks. One linear scan, no allocation — the only per-node work a
+/// loaded bank ever gets. Returns Corruption with a located diagnostic.
+[[nodiscard]] core::Status validateFlatBank(const FlatBankView& bank);
+
+}  // namespace oisa::ml

@@ -9,8 +9,12 @@
 
 #include "ml/importance.h"
 #include "ml/serialize.h"
+#include "netlist/bitops.h"
 
 namespace oisa::predict {
+
+using core::Status;
+using core::StatusOr;
 
 BitLevelPredictor::BitLevelPredictor(int width,
                                      const PredictorParams& params)
@@ -64,6 +68,17 @@ void BitLevelPredictor::fit(const PackedTraceFeatures& packed) {
     }
   }
   trained_ = true;
+  mappedBank_ = ml::MappedForestBank{};  // re-fit drops any mapped file
+  buildFlatBank();
+}
+
+void BitLevelPredictor::buildFlatBank() {
+  if (params_.model == ModelKind::RandomForest) {
+    flatBank_ = ml::FlatForestBank::build(
+        forests_, static_cast<std::uint32_t>(extractor_.featureCount()));
+  } else {
+    flatBank_ = ml::FlatForestBank{};
+  }
 }
 
 bool BitLevelPredictor::predictBit(std::span<const std::uint8_t> features,
@@ -81,11 +96,17 @@ bool BitLevelPredictor::predictBit(std::span<const std::uint8_t> features,
 
 std::uint64_t BitLevelPredictor::predictBitWord(
     std::span<const std::uint64_t> featureWords, int bit,
-    std::span<double> probabilities) const {
+    std::span<double> probabilities, const ml::FlatBankView& flat) const {
   const auto idx = static_cast<std::size_t>(bit);
   switch (params_.model) {
-    case ModelKind::RandomForest:
-      return forests_[idx].predictBatch(featureWords, probabilities);
+    case ModelKind::RandomForest: {
+      // The flat walk accumulates into caller-zeroed sums; same summation
+      // order as RandomForest::predictBatch, so the word is bit-identical
+      // to the pointer-forest path.
+      std::fill_n(probabilities.data(), 64, 0.0);
+      return ml::FlatForest(flat, idx).predictWord(featureWords,
+                                                   probabilities.data());
+    }
     case ModelKind::DecisionTree:
       return treesOnly_[idx].predictBatch(featureWords, probabilities);
     case ModelKind::Majority:
@@ -116,10 +137,15 @@ std::vector<double> BitLevelPredictor::featureImportance() const {
   return total;
 }
 
-void BitLevelPredictor::save(std::ostream& os) const {
+core::Status BitLevelPredictor::write(std::ostream& os) const {
   if (!trained_ || params_.model != ModelKind::RandomForest) {
-    throw std::logic_error(
-        "BitLevelPredictor::save: only trained RandomForest banks persist");
+    return Status::invalidInput(
+        "BitLevelPredictor::write: only trained RandomForest banks persist");
+  }
+  if (forests_.empty()) {
+    return Status::invalidInput(
+        "BitLevelPredictor::write: flat-loaded bank carries no pointer "
+        "forests (use saveFlat)");
   }
   os << "bitpredictor " << extractor_.width() << ' '
      << (params_.includeOutputBits ? 1 : 0) << ' ' << forests_.size()
@@ -127,36 +153,164 @@ void BitLevelPredictor::save(std::ostream& os) const {
   for (const ml::RandomForest& forest : forests_) {
     ml::saveForest(forest, os);
   }
+  if (!os) {
+    return Status::ioError("BitLevelPredictor::write: stream write failed");
+  }
+  return Status::ok();
 }
 
-BitLevelPredictor BitLevelPredictor::load(std::istream& is) {
+void BitLevelPredictor::save(std::ostream& os) const {
+  if (!trained_ || params_.model != ModelKind::RandomForest ||
+      forests_.empty()) {
+    throw std::logic_error(
+        "BitLevelPredictor::save: only trained RandomForest banks persist");
+  }
+  core::throwIfError(write(os));
+}
+
+core::StatusOr<BitLevelPredictor> BitLevelPredictor::read(std::istream& is) {
   std::string tag;
   int width = 0;
   int includeOutputBits = 0;
   std::size_t banks = 0;
   if (!(is >> tag >> width >> includeOutputBits >> banks) ||
       tag != "bitpredictor") {
-    throw std::runtime_error("BitLevelPredictor::load: bad header");
+    return Status::corruption("BitLevelPredictor::read: bad header");
+  }
+  if (width < 1 || width > 63) {
+    return Status::corruption("BitLevelPredictor::read: width " +
+                              std::to_string(width) + " out of range");
   }
   PredictorParams params;
   params.model = ModelKind::RandomForest;
   params.includeOutputBits = includeOutputBits != 0;
   BitLevelPredictor predictor(width, params);
   if (banks != static_cast<std::size_t>(width) + 1) {
-    throw std::runtime_error("BitLevelPredictor::load: bank count mismatch");
+    return Status::corruption("BitLevelPredictor::read: bank count mismatch");
   }
   predictor.forests_.reserve(banks);
   for (std::size_t i = 0; i < banks; ++i) {
-    predictor.forests_.push_back(ml::loadForest(is));
+    StatusOr<ml::RandomForest> forest = ml::readForest(is);
+    if (!forest.isOk()) return forest.status();
+    predictor.forests_.push_back(std::move(forest).value());
   }
+  predictor.trained_ = true;
+  predictor.buildFlatBank();
+  return predictor;
+}
+
+BitLevelPredictor BitLevelPredictor::load(std::istream& is) {
+  return read(is).valueOrThrow();
+}
+
+core::Status BitLevelPredictor::saveFlat(const std::string& path) const {
+  if (!trained_ || params_.model != ModelKind::RandomForest) {
+    return Status::invalidInput(
+        "BitLevelPredictor::saveFlat: only trained RandomForest banks "
+        "persist");
+  }
+  return ml::writeFlatBankFile(
+      path, flatView(), static_cast<std::uint32_t>(extractor_.width()),
+      params_.includeOutputBits ? 1u : 0u);
+}
+
+core::StatusOr<BitLevelPredictor> BitLevelPredictor::loadFlat(
+    const std::string& path) {
+  StatusOr<ml::MappedForestBank> bank = ml::MappedForestBank::open(path);
+  if (!bank.isOk()) return bank.status();
+  const std::uint32_t width = bank.value().meta0();
+  if (width < 1 || width > 63) {
+    return Status::corruption("BitLevelPredictor::loadFlat: width " +
+                              std::to_string(width) + " out of range");
+  }
+  PredictorParams params;
+  params.model = ModelKind::RandomForest;
+  params.includeOutputBits = (bank.value().meta1() & 1u) != 0;
+  BitLevelPredictor predictor(static_cast<int>(width), params);
+  const ml::FlatBankView& view = bank.value().view();
+  if (view.forestCount() != static_cast<std::size_t>(width) + 1) {
+    return Status::corruption(
+        "BitLevelPredictor::loadFlat: bank count mismatch (" +
+        std::to_string(view.forestCount()) + " forests for width " +
+        std::to_string(width) + ")");
+  }
+  if (view.featureCount != predictor.extractor_.featureCount()) {
+    return Status::corruption(
+        "BitLevelPredictor::loadFlat: feature count mismatch");
+  }
+  predictor.mappedBank_ = std::move(bank).value();
   predictor.trained_ = true;
   return predictor;
 }
 
 PredictedFlips BitLevelPredictor::predictFlips(
     const TraceRecord& previous, const TraceRecord& current) const {
+  const std::array<TraceRecord, 2> pair{previous, current};
+  PredictedFlips flips;
+  predictFlipsBlock(pair, std::span<PredictedFlips>(&flips, 1));
+  return flips;
+}
+
+void BitLevelPredictor::predictFlipsBlock(
+    std::span<const TraceRecord> records,
+    std::span<PredictedFlips> out) const {
   if (!trained_) {
     throw std::logic_error("BitLevelPredictor: predict before fit");
+  }
+  if (records.size() < 2 || records.size() > 65) {
+    throw std::invalid_argument(
+        "BitLevelPredictor::predictFlipsBlock: need 2..65 records");
+  }
+  if (out.size() != records.size() - 1) {
+    throw std::invalid_argument(
+        "BitLevelPredictor::predictFlipsBlock: out must hold one entry per "
+        "record pair");
+  }
+  const std::size_t shared = extractor_.sharedFeatureCount();
+  const int bits = extractor_.outputBitCount();
+  const int width = extractor_.width();
+  // Everything below lives on the stack: kMaxFeatureCount caps the
+  // feature columns (width <= 63) and output bits fit one 64-word block.
+  std::array<std::uint64_t, FeatureExtractor::kMaxFeatureCount> featureWords;
+  std::array<std::uint64_t, 64> goldPrevCols;
+  std::array<std::uint64_t, 64> goldCurCols;
+  const std::size_t lanes = extractor_.packBlock(
+      records, std::span(featureWords).first(shared), goldPrevCols,
+      goldCurCols);
+  const ml::FlatBankView flat = params_.model == ModelKind::RandomForest
+                                    ? flatView()
+                                    : ml::FlatBankView{};
+  std::array<std::uint64_t, 64> predWords{};
+  std::array<double, 64> probabilities;
+  const std::span<const std::uint64_t> features(featureWords.data(),
+                                                extractor_.featureCount());
+  for (int bit = 0; bit < bits; ++bit) {
+    const auto b = static_cast<std::size_t>(bit);
+    if (params_.includeOutputBits) {
+      featureWords[shared] = goldPrevCols[b];
+      featureWords[shared + 1] = goldCurCols[b];
+    }
+    predWords[b] = predictBitWord(features, bit, probabilities, flat);
+  }
+  // predWords rows are output bits; one transpose turns them into
+  // per-lane flip words (bit b of word L = bit b's prediction for lane L).
+  netlist::transpose64(predWords);
+  const std::uint64_t coutBit = std::uint64_t{1} << width;
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    out[lane].sumFlips = predWords[lane] & (coutBit - 1);
+    out[lane].coutFlip = (predWords[lane] & coutBit) != 0;
+  }
+}
+
+PredictedFlips BitLevelPredictor::predictFlipsReference(
+    const TraceRecord& previous, const TraceRecord& current) const {
+  if (!trained_) {
+    throw std::logic_error("BitLevelPredictor: predict before fit");
+  }
+  if (params_.model == ModelKind::RandomForest && forests_.empty()) {
+    throw std::logic_error(
+        "BitLevelPredictor::predictFlipsReference: flat-loaded bank has no "
+        "pointer models");
   }
   PredictedFlips flips;
   // Stack row buffer (width <= 63 caps featureCount); the shared operand
@@ -225,6 +379,9 @@ PredictorEvaluation BitLevelPredictor::evaluate(
   const std::size_t words = packed.wordCount;
   const std::size_t rows = packed.rowCount;
   const std::size_t shared = packed.sharedCount;
+  const ml::FlatBankView flat = params_.model == ModelKind::RandomForest
+                                    ? flatView()
+                                    : ml::FlatBankView{};
   std::vector<std::uint64_t> featureWords(extractor_.featureCount());
   std::vector<std::uint64_t> predWords(static_cast<std::size_t>(bits));
   std::array<double, 64> probabilities;
@@ -244,7 +401,7 @@ PredictorEvaluation BitLevelPredictor::evaluate(
         featureWords[shared + 1] = packed.goldCur[b * words + w];
       }
       const std::uint64_t pred =
-          predictBitWord(featureWords, bit, probabilities);
+          predictBitWord(featureWords, bit, probabilities, flat);
       predWords[b] = pred;
       // Bit-level accuracy (ABPER numerator): one popcount per 64 cycles.
       wrong[b] += static_cast<std::uint64_t>(

@@ -64,13 +64,85 @@ std::vector<std::uint8_t> FeatureExtractor::extract(
   return out;
 }
 
+std::size_t FeatureExtractor::packBlock(
+    std::span<const TraceRecord> records, std::span<std::uint64_t> sharedOut,
+    std::span<std::uint64_t> goldPrevOut,
+    std::span<std::uint64_t> goldCurOut) const {
+  if (records.size() < 2 || records.size() > 65) {
+    throw std::invalid_argument(
+        "FeatureExtractor::packBlock: need 2..65 records");
+  }
+  const std::size_t lanes = records.size() - 1;
+  const std::size_t sharedCount = sharedFeatureCount();
+  const auto bits = static_cast<std::size_t>(outputBitCount());
+  if (sharedOut.size() < sharedCount ||
+      (includeOutputBits_ &&
+       (goldPrevOut.size() < bits || goldCurOut.size() < bits))) {
+    throw std::invalid_argument(
+        "FeatureExtractor::packBlock: output spans too small");
+  }
+  // A row's shared feature vector is just the concatenated operand words
+  // {cur.a, cur.b, cur.cin, prev.a, prev.b, prev.cin} read as a (4W+2)-bit
+  // little-endian integer, and its gold vectors are (width+1)-bit words —
+  // so packing a block is a handful of shifts per row plus one 64x64 bit
+  // transpose per 64 columns (the BatchEvaluator lane idiom), not a
+  // per-(row, column) scatter. Sum bits are masked to the width so the
+  // composed words match goldBit()/timingErroneous() exactly even on
+  // records carrying stray high bits.
+  const auto w = static_cast<std::size_t>(width_);
+  const std::uint64_t coutBit = std::uint64_t{1} << width_;
+  const std::uint64_t sumMask = coutBit - 1;
+  const std::size_t chunks = (sharedCount + 63) / 64;
+  std::array<std::array<std::uint64_t, 64>, kMaxSharedChunks> rowChunks;
+  for (std::size_t c = 0; c < chunks; ++c) rowChunks[c].fill(0);
+  std::array<std::uint64_t, 64> goldPrevRows{};
+  std::array<std::uint64_t, 64> goldCurRows{};
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const TraceRecord& prev = records[lane];
+    const TraceRecord& cur = records[lane + 1];
+    std::size_t p = 0;
+    auto append = [&](std::uint64_t value, std::size_t nbits) {
+      const std::size_t chunk = p / 64;
+      const std::size_t off = p % 64;
+      rowChunks[chunk][lane] |= value << off;
+      if (off != 0 && off + nbits > 64) {
+        rowChunks[chunk + 1][lane] |= value >> (64 - off);
+      }
+      p += nbits;
+    };
+    append(cur.a & sumMask, w);
+    append(cur.b & sumMask, w);
+    append(cur.carryIn ? 1 : 0, 1);
+    append(prev.a & sumMask, w);
+    append(prev.b & sumMask, w);
+    append(prev.carryIn ? 1 : 0, 1);
+    goldPrevRows[lane] = (prev.gold & sumMask) | (prev.goldCout ? coutBit : 0);
+    goldCurRows[lane] = (cur.gold & sumMask) | (cur.goldCout ? coutBit : 0);
+  }
+  for (std::size_t c = 0; c < chunks; ++c) {
+    netlist::transpose64(rowChunks[c]);
+    const std::size_t columns = std::min<std::size_t>(64, sharedCount - c * 64);
+    for (std::size_t j = 0; j < columns; ++j) {
+      sharedOut[c * 64 + j] = rowChunks[c][j];
+    }
+  }
+  if (includeOutputBits_) {
+    netlist::transpose64(goldPrevRows);
+    netlist::transpose64(goldCurRows);
+    for (std::size_t b = 0; b < bits; ++b) {
+      goldPrevOut[b] = goldPrevRows[b];
+      goldCurOut[b] = goldCurRows[b];
+    }
+  }
+  return lanes;
+}
+
 PackedTraceFeatures FeatureExtractor::packTrace(const Trace& trace) const {
   PackedTraceFeatures out;
   out.rowCount = trace.size() < 2 ? 0 : trace.size() - 1;
   out.wordCount = (out.rowCount + 63) / 64;
   out.sharedCount = sharedFeatureCount();
   const std::size_t words = out.wordCount;
-  const auto w = static_cast<std::size_t>(width_);
   const auto bits = static_cast<std::size_t>(outputBitCount());
   out.shared.assign(out.sharedCount * words, 0);
   if (includeOutputBits_) {
@@ -79,68 +151,36 @@ PackedTraceFeatures FeatureExtractor::packTrace(const Trace& trace) const {
   }
   out.labels.assign(bits * words, 0);
 
-  // A row's shared feature vector is just the concatenated operand words
-  // {cur.a, cur.b, cur.cin, prev.a, prev.b, prev.cin} read as a (4W+2)-bit
-  // little-endian integer, and its gold/label vectors are (width+1)-bit
-  // words — so packing a 64-row block is a handful of shifts per row plus
-  // one 64x64 bit transpose per 64 columns (the BatchEvaluator lane
-  // idiom), not a per-(row, column) scatter. Sum bits are masked to the
-  // width so the composed words match goldBit()/timingErroneous() exactly
-  // even on records carrying stray high bits.
+  // Per 64-row block: packBlock composes the shared and gold columns (the
+  // same code the inference hot path runs), then the label columns — which
+  // need the silver outputs packBlock deliberately ignores — are composed
+  // and transposed here.
   const std::uint64_t coutBit = std::uint64_t{1} << width_;
   const std::uint64_t sumMask = coutBit - 1;
-  const std::size_t chunks = (out.sharedCount + 63) / 64;
-  std::vector<std::array<std::uint64_t, 64>> rowChunks(chunks);
-  std::array<std::uint64_t, 64> goldPrevRows{};
-  std::array<std::uint64_t, 64> goldCurRows{};
+  std::array<std::uint64_t, kMaxFeatureCount> sharedCols;
+  std::array<std::uint64_t, 64> goldPrevCols;
+  std::array<std::uint64_t, 64> goldCurCols;
   std::array<std::uint64_t, 64> labelRows{};
 
   for (std::size_t block = 0; block < words; ++block) {
     const std::size_t base = block * 64;
     const std::size_t lanes = std::min<std::size_t>(64, out.rowCount - base);
-    for (auto& chunk : rowChunks) chunk.fill(0);
-    goldPrevRows.fill(0);
-    goldCurRows.fill(0);
+    (void)packBlock(std::span(trace).subspan(base, lanes + 1),
+                    std::span(sharedCols).first(out.sharedCount),
+                    goldPrevCols, goldCurCols);
     labelRows.fill(0);
     for (std::size_t lane = 0; lane < lanes; ++lane) {
-      const TraceRecord& prev = trace[base + lane];
       const TraceRecord& cur = trace[base + lane + 1];
-      std::size_t p = 0;
-      auto append = [&](std::uint64_t value, std::size_t nbits) {
-        const std::size_t chunk = p / 64;
-        const std::size_t off = p % 64;
-        rowChunks[chunk][lane] |= value << off;
-        if (off != 0 && off + nbits > 64) {
-          rowChunks[chunk + 1][lane] |= value >> (64 - off);
-        }
-        p += nbits;
-      };
-      append(cur.a & sumMask, w);
-      append(cur.b & sumMask, w);
-      append(cur.carryIn ? 1 : 0, 1);
-      append(prev.a & sumMask, w);
-      append(prev.b & sumMask, w);
-      append(prev.carryIn ? 1 : 0, 1);
-      goldPrevRows[lane] =
-          (prev.gold & sumMask) | (prev.goldCout ? coutBit : 0);
-      goldCurRows[lane] = (cur.gold & sumMask) | (cur.goldCout ? coutBit : 0);
       labelRows[lane] = ((cur.gold ^ cur.silver) & sumMask) |
                         (cur.goldCout != cur.silverCout ? coutBit : 0);
     }
-    for (std::size_t c = 0; c < chunks; ++c) {
-      netlist::transpose64(rowChunks[c]);
-      const std::size_t columns =
-          std::min<std::size_t>(64, out.sharedCount - c * 64);
-      for (std::size_t j = 0; j < columns; ++j) {
-        out.shared[(c * 64 + j) * words + block] = rowChunks[c][j];
-      }
+    for (std::size_t f = 0; f < out.sharedCount; ++f) {
+      out.shared[f * words + block] = sharedCols[f];
     }
     if (includeOutputBits_) {
-      netlist::transpose64(goldPrevRows);
-      netlist::transpose64(goldCurRows);
       for (std::size_t b = 0; b < bits; ++b) {
-        out.goldPrev[b * words + block] = goldPrevRows[b];
-        out.goldCur[b * words + block] = goldCurRows[b];
+        out.goldPrev[b * words + block] = goldPrevCols[b];
+        out.goldCur[b * words + block] = goldCurCols[b];
       }
     }
     netlist::transpose64(labelRows);

@@ -54,6 +54,9 @@ class FeatureExtractor {
   /// Largest featureCount() any valid width yields (W = 63): a stack
   /// buffer of this size fits every extracted row.
   static constexpr std::size_t kMaxFeatureCount = 2 * (2 * 63 + 1) + 2;
+  /// 64-row transpose chunks covering the widest shared block — sizes the
+  /// allocation-free packBlock scratch.
+  static constexpr std::size_t kMaxSharedChunks = (2 * (2 * 63 + 1) + 63) / 64;
 
   /// `width` — adder width W; output bits 0..W-1 are sum bits, bit W is the
   /// carry-out. `includeOutputBits` — ablation switch for the
@@ -91,6 +94,22 @@ class FeatureExtractor {
   [[nodiscard]] std::vector<std::uint8_t> extract(
       const TraceRecord& previous, const TraceRecord& current,
       int bit) const;
+
+  /// Packs one block of up to 64 consecutive record pairs
+  /// (records[r], records[r+1]), r = 0 .. records.size()-2, into
+  /// caller-owned single-word bit columns: sharedOut[f] = shared feature
+  /// f (bit r = row r's value), goldPrevOut[b] / goldCurOut[b] = output
+  /// bit b's yRTL[t-1] / yRTL[t] columns (untouched when the output-bit
+  /// features are ablated). Tail bits past the row count are zero.
+  /// Allocation-free — this is the per-block body of packTrace(), shared
+  /// with the predictFlipsBlock inference hot path so both pack
+  /// bit-identically by construction. Returns the row (lane) count.
+  /// Requires 2..65 records, sharedOut.size() >= sharedFeatureCount(),
+  /// and (unless ablated) gold spans of >= outputBitCount() words.
+  std::size_t packBlock(std::span<const TraceRecord> records,
+                        std::span<std::uint64_t> sharedOut,
+                        std::span<std::uint64_t> goldPrevOut,
+                        std::span<std::uint64_t> goldCurOut) const;
 
   /// Packs a whole trace into bit-columns: the shared block is extracted
   /// once per *trace*, the gold/label columns once per *bit* — the 33x

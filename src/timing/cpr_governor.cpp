@@ -1,0 +1,80 @@
+#include "timing/cpr_governor.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace oisa::timing {
+
+CprGovernor::CprGovernor(CprGovernorConfig config)
+    : config_(std::move(config)), level_(config_.startLevel) {
+  if (config_.cprLevels.empty()) {
+    throw std::invalid_argument("CprGovernor: empty CPR ladder");
+  }
+  for (std::size_t i = 1; i < config_.cprLevels.size(); ++i) {
+    if (config_.cprLevels[i] <= config_.cprLevels[i - 1]) {
+      throw std::invalid_argument(
+          "CprGovernor: CPR ladder must be strictly ascending");
+    }
+  }
+  if (config_.cprLevels.back() >= 100.0) {
+    throw std::invalid_argument(
+        "CprGovernor: CPR of 100% or more leaves no clock period");
+  }
+  if (config_.signOffPeriodNs <= 0.0) {
+    throw std::invalid_argument("CprGovernor: sign-off period must be > 0");
+  }
+  if (config_.targetFlipRate <= 0.0) {
+    throw std::invalid_argument("CprGovernor: target flip rate must be > 0");
+  }
+  if (config_.stepUpFraction < 0.0 || config_.stepUpFraction >= 1.0) {
+    throw std::invalid_argument(
+        "CprGovernor: stepUpFraction must be in [0, 1)");
+  }
+  if (config_.holdWindows < 1) {
+    throw std::invalid_argument("CprGovernor: holdWindows must be >= 1");
+  }
+  if (config_.startLevel >= config_.cprLevels.size()) {
+    throw std::invalid_argument("CprGovernor: startLevel " +
+                                std::to_string(config_.startLevel) +
+                                " past the ladder");
+  }
+  stats_.windowsAtLevel.assign(config_.cprLevels.size(), 0);
+}
+
+CprGovernor::Action CprGovernor::observe(double predictedFlipRate) {
+  // Account the window that just ran at the current level.
+  ++stats_.windows;
+  ++stats_.windowsAtLevel[level_];
+  stats_.periodNsSum += periodNs();
+
+  if (predictedFlipRate > config_.targetFlipRate) {
+    ++stats_.overBudgetWindows;
+    calmStreak_ = 0;
+    if (level_ > 0) {
+      --level_;
+      ++stats_.stepDowns;
+      return Action::StepDown;
+    }
+    return Action::Hold;  // already at sign-off: nowhere safer to go
+  }
+  if (predictedFlipRate <= config_.targetFlipRate * config_.stepUpFraction) {
+    if (++calmStreak_ >= config_.holdWindows &&
+        level_ + 1 < config_.cprLevels.size()) {
+      calmStreak_ = 0;
+      ++level_;
+      ++stats_.stepUps;
+      return Action::StepUp;
+    }
+    return Action::Hold;
+  }
+  // In-band: under budget but not calm — hold and restart the streak.
+  calmStreak_ = 0;
+  return Action::Hold;
+}
+
+double CprGovernor::guardbandReclaimedPercent() const noexcept {
+  if (stats_.windows == 0) return 0.0;
+  return 100.0 * (1.0 - stats_.meanPeriodNs() / config_.signOffPeriodNs);
+}
+
+}  // namespace oisa::timing

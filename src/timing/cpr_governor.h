@@ -1,0 +1,104 @@
+// oisa_timing: online clock-period-reduction governor.
+//
+// The paper's claim is that bit-level timing errors under overclocking
+// are predictable; this is the controller that makes the claim
+// operational. Instead of Razor-style detect-and-replay hardware (paper
+// refs [4], [13]), the governor consumes the *predicted* flip rate of
+// each evaluation window — produced by the flat-bank
+// BitLevelPredictor::predictFlipsBlock hot path at nanoseconds per
+// record — and walks a ladder of CPR (clock-period-reduction) levels
+// against a residual-error budget:
+//
+//   rate above budget            -> step DOWN one level immediately
+//   rate well under budget       -> after `holdWindows` consecutive such
+//     (<= target*stepUpFraction)    windows, step UP one level
+//   anywhere in between          -> hold
+//
+// The asymmetric hysteresis (instant retreat, patient advance) keeps the
+// loop from oscillating around the budget boundary while still reclaiming
+// guardband quickly when the workload calms down. Stats track how long
+// the clock sat at each level, from which the mean period and the
+// guardband reclaimed relative to sign-off fall out — the curves
+// examples/adaptive_overclocking emits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace oisa::timing {
+
+struct CprGovernorConfig {
+  /// Ascending overclock depths in percent of the sign-off period
+  /// (0 = sign-off clock). Must be non-empty and strictly increasing.
+  std::vector<double> cprLevels;
+  /// Sign-off clock period; level L runs at signOff * (1 - cpr/100).
+  double signOffPeriodNs = 1.0;
+  /// Residual-error budget: predicted flips per record above which a
+  /// window is over budget.
+  double targetFlipRate = 1e-3;
+  /// A window is "calm" when rate <= targetFlipRate * stepUpFraction;
+  /// only calm windows count toward deepening. In [0, 1).
+  double stepUpFraction = 0.5;
+  /// Consecutive calm windows required before stepping deeper.
+  int holdWindows = 4;
+  /// Ladder index to start at.
+  std::size_t startLevel = 0;
+};
+
+class CprGovernor {
+ public:
+  enum class Action { Hold, StepUp, StepDown };
+
+  /// Throws std::invalid_argument on a malformed config (empty or
+  /// non-ascending ladder, out-of-range fractions, startLevel past the
+  /// ladder).
+  explicit CprGovernor(CprGovernorConfig config);
+
+  [[nodiscard]] std::size_t level() const noexcept { return level_; }
+  [[nodiscard]] double cprPercent() const noexcept {
+    return config_.cprLevels[level_];
+  }
+  /// The clock period currently in force.
+  [[nodiscard]] double periodNs() const noexcept {
+    return config_.signOffPeriodNs * (1.0 - cprPercent() / 100.0);
+  }
+  [[nodiscard]] const CprGovernorConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// One evaluation window just ran at the current level and the
+  /// predictor scored it at `predictedFlipRate` flips per record.
+  /// Accounts the window, then applies the control law and returns what
+  /// the clock does for the *next* window.
+  Action observe(double predictedFlipRate);
+
+  struct Stats {
+    std::uint64_t windows = 0;
+    std::uint64_t stepUps = 0;
+    std::uint64_t stepDowns = 0;
+    std::uint64_t overBudgetWindows = 0;
+    /// Sum over windows of the period in force — meanPeriodNs() is the
+    /// energy-proxy numerator (dynamic power tracks f = 1/T).
+    double periodNsSum = 0.0;
+    std::vector<std::uint64_t> windowsAtLevel;
+
+    [[nodiscard]] double meanPeriodNs() const noexcept {
+      return windows == 0 ? 0.0
+                          : periodNsSum / static_cast<double>(windows);
+    }
+  };
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Mean guardband reclaimed so far, percent of the sign-off period:
+  /// 100 * (1 - meanPeriod/signOff). 0 when no window has run.
+  [[nodiscard]] double guardbandReclaimedPercent() const noexcept;
+
+ private:
+  CprGovernorConfig config_;
+  std::size_t level_ = 0;
+  int calmStreak_ = 0;
+  Stats stats_;
+};
+
+}  // namespace oisa::timing

@@ -1,0 +1,124 @@
+// CprGovernor tests: control-law hysteresis (instant retreat, patient
+// advance), ladder clamping at both ends, stats accounting and the
+// guardband-reclaimed metric.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "timing/cpr_governor.h"
+
+namespace {
+
+using oisa::timing::CprGovernor;
+using oisa::timing::CprGovernorConfig;
+
+CprGovernorConfig ladderConfig() {
+  CprGovernorConfig config;
+  config.cprLevels = {0.0, 5.0, 10.0, 15.0};
+  config.signOffPeriodNs = 0.3;
+  config.targetFlipRate = 1e-2;
+  config.stepUpFraction = 0.5;
+  config.holdWindows = 2;
+  return config;
+}
+
+TEST(CprGovernorTest, RejectsMalformedConfigs) {
+  auto bad = ladderConfig();
+  bad.cprLevels.clear();
+  EXPECT_THROW(CprGovernor{bad}, std::invalid_argument);
+  bad = ladderConfig();
+  bad.cprLevels = {10.0, 5.0};
+  EXPECT_THROW(CprGovernor{bad}, std::invalid_argument);
+  bad = ladderConfig();
+  bad.cprLevels = {0.0, 100.0};
+  EXPECT_THROW(CprGovernor{bad}, std::invalid_argument);
+  bad = ladderConfig();
+  bad.targetFlipRate = 0.0;
+  EXPECT_THROW(CprGovernor{bad}, std::invalid_argument);
+  bad = ladderConfig();
+  bad.stepUpFraction = 1.0;
+  EXPECT_THROW(CprGovernor{bad}, std::invalid_argument);
+  bad = ladderConfig();
+  bad.startLevel = 4;
+  EXPECT_THROW(CprGovernor{bad}, std::invalid_argument);
+}
+
+TEST(CprGovernorTest, PeriodTracksLadderLevel) {
+  CprGovernor governor(ladderConfig());
+  EXPECT_EQ(governor.level(), 0u);
+  EXPECT_DOUBLE_EQ(governor.cprPercent(), 0.0);
+  EXPECT_DOUBLE_EQ(governor.periodNs(), 0.3);
+}
+
+TEST(CprGovernorTest, CalmWindowsStepUpAfterHold) {
+  CprGovernor governor(ladderConfig());
+  // holdWindows = 2: the first calm window arms, the second steps.
+  EXPECT_EQ(governor.observe(0.0), CprGovernor::Action::Hold);
+  EXPECT_EQ(governor.observe(0.0), CprGovernor::Action::StepUp);
+  EXPECT_EQ(governor.level(), 1u);
+  EXPECT_DOUBLE_EQ(governor.cprPercent(), 5.0);
+  EXPECT_DOUBLE_EQ(governor.periodNs(), 0.3 * 0.95);
+}
+
+TEST(CprGovernorTest, OverBudgetStepsDownImmediately) {
+  auto config = ladderConfig();
+  config.startLevel = 3;
+  CprGovernor governor(config);
+  EXPECT_EQ(governor.observe(0.5), CprGovernor::Action::StepDown);
+  EXPECT_EQ(governor.level(), 2u);
+  // One over-budget window outweighs any calm streak in progress.
+  EXPECT_EQ(governor.observe(0.0), CprGovernor::Action::Hold);
+  EXPECT_EQ(governor.observe(0.5), CprGovernor::Action::StepDown);
+  EXPECT_EQ(governor.level(), 1u);
+}
+
+TEST(CprGovernorTest, MiddlingRateHoldsAndResetsStreak) {
+  CprGovernor governor(ladderConfig());
+  // Rate in (target*stepUpFraction, target]: hold, and the calm streak
+  // restarts — so the next two calm windows are needed to step.
+  EXPECT_EQ(governor.observe(0.0), CprGovernor::Action::Hold);
+  EXPECT_EQ(governor.observe(8e-3), CprGovernor::Action::Hold);
+  EXPECT_EQ(governor.observe(0.0), CprGovernor::Action::Hold);
+  EXPECT_EQ(governor.observe(0.0), CprGovernor::Action::StepUp);
+}
+
+TEST(CprGovernorTest, ClampsAtLadderEnds) {
+  auto config = ladderConfig();
+  config.startLevel = 0;
+  CprGovernor bottom(config);
+  EXPECT_EQ(bottom.observe(1.0), CprGovernor::Action::Hold);
+  EXPECT_EQ(bottom.level(), 0u);
+
+  config.startLevel = 3;
+  CprGovernor top(config);
+  EXPECT_EQ(top.observe(0.0), CprGovernor::Action::Hold);
+  EXPECT_EQ(top.observe(0.0), CprGovernor::Action::Hold);
+  EXPECT_EQ(top.level(), 3u);
+}
+
+TEST(CprGovernorTest, StatsAccountEveryWindowAtItsLevel) {
+  CprGovernor governor(ladderConfig());
+  governor.observe(0.0);  // level 0
+  governor.observe(0.0);  // level 0, steps up
+  governor.observe(0.5);  // level 1, over budget, steps down
+  const auto& st = governor.stats();
+  EXPECT_EQ(st.windows, 3u);
+  EXPECT_EQ(st.stepUps, 1u);
+  EXPECT_EQ(st.stepDowns, 1u);
+  EXPECT_EQ(st.overBudgetWindows, 1u);
+  ASSERT_EQ(st.windowsAtLevel.size(), 4u);
+  EXPECT_EQ(st.windowsAtLevel[0], 2u);
+  EXPECT_EQ(st.windowsAtLevel[1], 1u);
+  const double meanPeriod = (0.3 + 0.3 + 0.3 * 0.95) / 3.0;
+  EXPECT_DOUBLE_EQ(st.meanPeriodNs(), meanPeriod);
+  EXPECT_DOUBLE_EQ(governor.guardbandReclaimedPercent(),
+                   100.0 * (1.0 - meanPeriod / 0.3));
+}
+
+TEST(CprGovernorTest, NoWindowsMeansNoGuardbandClaim) {
+  CprGovernor governor(ladderConfig());
+  EXPECT_DOUBLE_EQ(governor.guardbandReclaimedPercent(), 0.0);
+  EXPECT_DOUBLE_EQ(governor.stats().meanPeriodNs(), 0.0);
+}
+
+}  // namespace
