@@ -21,6 +21,10 @@
 #include "experiments/grid_scheduler.h"
 #include "experiments/report.h"
 #include "experiments/runner.h"
+#include "netlist/lane_width.h"
+#include "obs/metrics.h"
+#include "obs/run_meta.h"
+#include "obs/span.h"
 #include "timing/cell_library.h"
 
 namespace oisa::bench {
@@ -65,6 +69,39 @@ inline void applyModelOptions(const experiments::ArgParser& args,
   options.modelIn = args.getString("model-in", "");
 }
 
+/// Observability CLI surface shared by every figure/fault bench:
+///   --metrics-out=FILE  write the metrics registry snapshot as JSON
+///                       (schema oisa-metrics-v1) at exit; the registry
+///                       itself is always on (sharded fleet rollups need
+///                       it flag-free) — the flag only adds the artifact
+///   --trace-out=FILE    record RAII spans into the bounded ring; write
+///                       Chrome trace-event JSON (open in Perfetto) at exit
+///   --events-out=FILE   supervisor-side JSONL fleet lifecycle log
+///   --trace-buffer=N    span ring capacity in events (default 65536;
+///                       overflow drops events and counts the drops)
+/// Telemetry is side-effect-only by construction: every CSV and table is
+/// byte-identical with and without these flags (cross-check #11 in
+/// ARCHITECTURE.md; enforced by a cmp in CI).
+struct ObsContext {
+  std::string metricsOut;
+  std::string traceOut;
+  std::string eventsOut;
+};
+
+/// Parses the obs flags and arms the requested sinks. Call before the
+/// campaign body so spans/counters from the run land in the artifacts.
+inline ObsContext beginObs(const experiments::ArgParser& args) {
+  ObsContext ctx;
+  ctx.metricsOut = args.getString("metrics-out", "");
+  ctx.traceOut = args.getString("trace-out", "");
+  ctx.eventsOut = args.getString("events-out", "");
+  if (!ctx.traceOut.empty()) {
+    obs::startTracing(
+        static_cast<std::size_t>(args.getPositiveU64("trace-buffer", 65536)));
+  }
+  return ctx;
+}
+
 /// What setupSharding decided this process is.
 struct ShardContext {
   /// False in shard workers: they compute and checkpoint, the supervisor
@@ -84,9 +121,10 @@ struct ShardContext {
 inline std::vector<std::string> forwardedWorkerArgs(
     const experiments::ArgParser& args, unsigned shards) {
   static const std::set<std::string> kSupervisorOnly = {
-      "shards",        "shard-worker",  "shard-strikes", "shard-timeout",
-      "shard-backoff", "quarantine",    "checkpoint",    "resume",
-      "csv",           "json",          "progress",      "threads"};
+      "shards",      "shard-worker", "shard-strikes", "shard-timeout",
+      "shard-backoff", "quarantine", "checkpoint",    "resume",
+      "csv",         "json",         "progress",      "threads",
+      "metrics-out", "trace-out",    "events-out"};
   std::vector<std::string> out;
   for (const auto& [key, value] : args.all()) {
     if (kSupervisorOnly.count(key) != 0) continue;
@@ -170,6 +208,13 @@ inline ShardContext setupSharding(const experiments::ArgParser& args,
   sup.heartbeatTimeoutSec = args.getDouble("shard-timeout", 30.0);
   sup.restartBackoffMs = args.getU64("shard-backoff", 200);
   sup.progress = run.progress;
+  // Fleet observability: the supervisor keeps the aggregate artifacts
+  // (events log, merged metrics with the fleet rollup) and hands every
+  // worker a private --metrics-out/--trace-out derived from the same base
+  // so per-shard JSON lands next to the supervisor's.
+  sup.eventLogPath = args.getString("events-out", "");
+  sup.workerMetricsBase = args.getString("metrics-out", "");
+  sup.workerTraceBase = args.getString("trace-out", "");
   ctx.report = experiments::runShardSupervisor(sup).valueOrThrow();
   // Final in-process pass over the *whole* grid: --resume against the
   // merged snapshot serves every completed cell; only quarantined cells
@@ -183,13 +228,52 @@ inline ShardContext setupSharding(const experiments::ArgParser& args,
   return ctx;
 }
 
+/// Writes the per-process telemetry artifacts. Call at the end of every
+/// bench main, *before* the worker-mode early return — shard workers
+/// write their own metrics/trace files (the supervisor pointed them at
+/// <base>.shard<i>) even though they emit no tables. The heartbeat flush
+/// runs first so the supervisor's fleet rollup and this worker's metrics
+/// file agree exactly on a clean run (nothing increments counters between
+/// the flush and the snapshot).
+inline void writeObsArtifacts(const ObsContext& obsCtx,
+                              const ShardContext& shard) {
+  if (shard.heartbeat != nullptr) shard.heartbeat->metricsFlush();
+  if (!obsCtx.metricsOut.empty()) {
+    const std::map<std::string, std::uint64_t>* fleet =
+        shard.report.has_value() && !shard.report->fleetCounters.empty()
+            ? &shard.report->fleetCounters
+            : nullptr;
+    if (const core::Status s =
+            obs::writeMetricsJson(obsCtx.metricsOut, obs::runMetadata(), fleet);
+        !s.isOk()) {
+      std::cerr << "warning: " << s.toString() << "\n";
+    } else {
+      std::cerr << "(metrics written to " << obsCtx.metricsOut << ")\n";
+    }
+  }
+  if (!obsCtx.traceOut.empty()) {
+    // Drain before stopTracing — stopping retires the ring.
+    if (const core::Status s = obs::writeTraceJson(obsCtx.traceOut);
+        !s.isOk()) {
+      std::cerr << "warning: " << s.toString() << "\n";
+    } else {
+      std::cerr << "(trace written to " << obsCtx.traceOut << ")\n";
+    }
+    obs::stopTracing();
+  }
+}
+
 /// Human-readable tail of a supervised campaign: what was restarted,
-/// quarantined, or absolved (on stderr, after the tables).
+/// quarantined, or absolved (on stderr, after the tables), plus the
+/// fleet-wide counter rollup streamed over the heartbeat pipes.
 inline void printShardReport(const ShardContext& ctx) {
   if (!ctx.report.has_value()) return;
   const experiments::ShardReport& r = *ctx.report;
   std::cerr << "shards: " << r.cellsDone << " cell completion(s) observed, "
             << r.restarts << " worker restart(s)\n";
+  for (const auto& [name, value] : r.fleetCounters) {
+    std::cerr << "  fleet " << name << " = " << value << "\n";
+  }
   for (const experiments::QuarantinedCell& q : r.quarantined) {
     std::cerr << "  quarantined cell " << q.cell << " (shard " << q.shard
               << "): worker died with " << q.lastExit.toString()
@@ -245,14 +329,30 @@ class BenchJson {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// Run-provenance fields for every BENCH_*.json artifact: commit, host,
+/// lane engine, thread count — the facts that make a perf number from CI
+/// attributable weeks later.
+inline void addRunMetadata(BenchJson& json,
+                           const experiments::ArgParser& args) {
+  for (const auto& [key, value] : obs::runMetadata()) {
+    json.add(key, value);
+  }
+  json.add("lane_selection",
+           netlist::laneSelectionName(netlist::selectLaneWidth()));
+  unsigned threads = threadsOption(args);
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  json.add("threads", static_cast<std::uint64_t>(threads));
+}
+
 /// Shared epilogue of every speedup microbench (the BENCH_*.json
-/// writers): records the headline `speedup` field, writes the `--json`
-/// artifact when requested, and enforces the `--min-speedup` CI gate.
-/// Returns the process exit code for main().
+/// writers): records the headline `speedup` field plus run metadata,
+/// writes the `--json` artifact when requested, and enforces the
+/// `--min-speedup` CI gate. Returns the process exit code for main().
 inline int finishSpeedupBench(BenchJson& json,
                               const experiments::ArgParser& args,
                               double speedup, double minSpeedup) {
   json.add("speedup", speedup);
+  addRunMetadata(json, args);
   json.writeFile(args.getString("json", ""));
   if (minSpeedup > 0.0 && speedup < minSpeedup) {
     std::cerr << "FAIL: speedup " << speedup << "x below required "

@@ -11,7 +11,8 @@
 //                       [--resume] [--checkpoint-every=N] [--retries=N]
 //                       [--deadline=S] [--progress] [--shards=N]
 //                       [--shard-strikes=K] [--shard-timeout=S]
-//                       [--csv=path]
+//                       [--csv=path] [--trace-out=f] [--metrics-out=f]
+//                       [--events-out=f]
 #include <iostream>
 
 #include "experiments/fault_scan.h"
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
   using namespace oisa;
   return bench::runGuarded([&]() -> int {
   const experiments::ArgParser args(argc, argv);
+  const auto obsCtx = bench::beginObs(args);
   const auto designs = bench::synthesizeAll(args);
 
   experiments::FaultScanOptions options;
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
       bench::setupSharding(args, argv[0], options.run, designs.size());
 
   const auto rows = runFaultErrorScan(designs, options);
+  bench::writeObsArtifacts(obsCtx, shard);
   if (!shard.emitOutput) return 0;  // worker: the supervisor prints
 
   std::cout << "== Stuck-at coverage + defect-aware E_joint shift ==\n"

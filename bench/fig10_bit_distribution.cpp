@@ -5,7 +5,7 @@
 //
 // Usage: fig10_bit_distribution [--cycles=N] [--block=8] [--spec=0]
 //          [--corr=0] [--red=4] [--cpr=15] [--seed=S] [--threads=N]
-//          [--csv=path]
+//          [--csv=path] [--trace-out=f] [--metrics-out=f]
 #include <algorithm>
 
 #include "experiments/runner.h"
@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace oisa;
   const experiments::ArgParser args(argc, argv);
+  const auto obsCtx = bench::beginObs(args);
 
   const auto cfg = core::makeIsa(static_cast<int>(args.getU64("block", 8)),
                                  static_cast<int>(args.getU64("spec", 0)),
@@ -51,5 +52,6 @@ int main(int argc, char** argv) {
                       std::string(static_cast<std::size_t>(tBar), '*')});
   }
   bench::emit(table, args);
+  bench::writeObsArtifacts(obsCtx, bench::ShardContext{});
   return 0;
 }

@@ -9,6 +9,7 @@
 //                  [--deadline=S] [--progress] [--shards=N]
 //                  [--shard-strikes=K] [--shard-timeout=S] [--csv=path]
 //                  [--model-out=base] [--model-in=base]
+//                  [--trace-out=f] [--metrics-out=f] [--events-out=f]
 #include "experiments/runner.h"
 
 #include "bench_common.h"
@@ -17,6 +18,7 @@ int main(int argc, char** argv) {
   using namespace oisa;
   return bench::runGuarded([&]() -> int {
   const experiments::ArgParser args(argc, argv);
+  const auto obsCtx = bench::beginObs(args);
   const auto designs = bench::synthesizeAll(args);
 
   experiments::PredictionOptions options;
@@ -33,6 +35,7 @@ int main(int argc, char** argv) {
 
   const auto rows =
       runPredictionEvaluation(designs, bench::paperCprs(), options);
+  bench::writeObsArtifacts(obsCtx, shard);
   if (!shard.emitOutput) return 0;  // worker: the supervisor prints
 
   std::cout << "== Fig. 8: AVPE of the bit-level timing-error model ==\n\n";

@@ -10,6 +10,8 @@
 //                               [--deadline=S] [--progress]
 //                               [--shards=N] [--shard-strikes=K]
 //                               [--shard-timeout=S] [--csv=path]
+//                               [--trace-out=f] [--metrics-out=f]
+//                               [--events-out=f]
 #include "experiments/runner.h"
 #include "experiments/trace_collector.h"
 
@@ -19,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace oisa;
   return bench::runGuarded([&]() -> int {
   const experiments::ArgParser args(argc, argv);
+  const auto obsCtx = bench::beginObs(args);
   const auto designs = bench::synthesizeAll(args);
 
   experiments::RunOptions options;
@@ -32,6 +35,7 @@ int main(int argc, char** argv) {
 
   const auto rows =
       runErrorCombination(designs, bench::paperCprs(), options);
+  bench::writeObsArtifacts(obsCtx, shard);
   if (!shard.emitOutput) return 0;  // worker: the supervisor prints
 
   std::cout << "== Fig. 9: relative error RMS (%) under overclocking ==\n"

@@ -7,8 +7,12 @@
 #include <iostream>
 #include <utility>
 
+#include <chrono>
+
 #include "core/crc32.h"
 #include "core/fault_inject.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 #ifndef _WIN32
 #include <fcntl.h>
@@ -75,14 +79,26 @@ core::Status writeFileSynced(const std::string& path,
                                    "': " + std::strerror(errno));
   }
 #ifndef _WIN32
-  if (status.isOk() && ::fsync(::fileno(f)) != 0) {
-    status = core::Status::ioError("fsync '" + path +
-                                   "': " + std::strerror(errno));
+  if (status.isOk()) {
+    static obs::Histogram& fsyncLatency = obs::histogram("ckpt.fsync_us");
+    const auto fsyncStart = std::chrono::steady_clock::now();
+    if (::fsync(::fileno(f)) != 0) {
+      status = core::Status::ioError("fsync '" + path +
+                                     "': " + std::strerror(errno));
+    }
+    fsyncLatency.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - fsyncStart)
+            .count()));
   }
 #endif
   if (std::fclose(f) != 0 && status.isOk()) {
     status = core::Status::ioError("close '" + path +
                                    "': " + std::strerror(errno));
+  }
+  if (status.isOk()) {
+    static obs::Counter& bytesWritten = obs::counter("ckpt.bytes_written");
+    bytesWritten.add(bytes.size());
   }
   return status;
 }
@@ -202,6 +218,9 @@ void GridCheckpoint::mergeFrom(const GridCheckpoint& other) {
 }
 
 core::Status GridCheckpoint::saveTo(const std::string& path) const {
+  static obs::Counter& saves = obs::counter("ckpt.saves");
+  const obs::ObsSpan span("ckpt.save", "ckpt", "cells", cells_.size());
+  saves.add();
   std::string bytes;
   bytes.append(kMagic, sizeof kMagic);
   appendU32(bytes, kVersion);
@@ -261,6 +280,10 @@ core::StatusOr<GridCheckpoint> GridCheckpoint::loadFrom(
   if (readError) {
     return core::Status::ioError("read '" + path + "' failed");
   }
+  static obs::Counter& loads = obs::counter("ckpt.loads");
+  static obs::Counter& bytesRead = obs::counter("ckpt.bytes_read");
+  loads.add();
+  bytesRead.add(bytes.size());
   if (core::fault_inject::shouldFail(core::fault_inject::kCheckpointRead)) {
     return core::Status::corruption("read '" + path + "': fault injected");
   }
@@ -375,11 +398,15 @@ std::optional<std::string> CampaignCheckpoint::tryLoad(
   const std::lock_guard<std::mutex> lock(mutex_);
   const std::string* payload = snapshot_.payload(cell);
   if (payload == nullptr) return std::nullopt;
+  static obs::Counter& served = obs::counter("ckpt.cells_served");
+  served.add();
   return *payload;
 }
 
 void CampaignCheckpoint::commit(std::uint64_t cell, std::string payload) {
   if (!enabled()) return;
+  static obs::Counter& commits = obs::counter("ckpt.cells_committed");
+  commits.add();
   const std::lock_guard<std::mutex> lock(mutex_);
   snapshot_.record(cell, std::move(payload));
   if (++sinceSave_ < std::max<std::uint64_t>(options_.everyCells, 1)) return;

@@ -1,11 +1,21 @@
 #include "experiments/grid_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace oisa::experiments {
 
 namespace {
+
+std::int64_t monotonicNowNs() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 std::string buildGridErrorMessage(const std::vector<CellFailure>& failures,
                                   bool cancelled, std::size_t cellsNotRun) {
@@ -59,6 +69,10 @@ GridScheduler::~GridScheduler() {
 }
 
 void GridScheduler::executeCell(std::size_t cell) {
+  static obs::Counter& cellsCompleted = obs::counter("grid.cells_completed");
+  static obs::Counter& cellRetries = obs::counter("grid.retries");
+  static obs::Counter& cellFailures = obs::counter("grid.cell_failures");
+  const obs::ObsSpan span("cell", "grid", "cell", cell);
   const RunPolicy& policy = *policy_;
   core::Status status;
   unsigned attempt = 0;
@@ -66,6 +80,7 @@ void GridScheduler::executeCell(std::size_t cell) {
     ++attempt;
     try {
       (*task_)(cell);
+      cellsCompleted.add();
       return;
     } catch (const core::StatusError& e) {
       status = e.status();
@@ -81,6 +96,7 @@ void GridScheduler::executeCell(std::size_t cell) {
     if (attempt >= policy.maxAttempts || !isRetryable(status) || cancelled) {
       break;
     }
+    cellRetries.add();
     if (policy.retryCounter != nullptr) {
       policy.retryCounter->fetch_add(1, std::memory_order_relaxed);
     }
@@ -91,6 +107,7 @@ void GridScheduler::executeCell(std::size_t cell) {
       std::this_thread::sleep_for(policy.retryBackoff * (1u << shift));
     }
   }
+  cellFailures.add();
   const std::lock_guard<std::mutex> lock(mutex_);
   failures_.push_back(CellFailure{cell, std::move(status), attempt});
 }
@@ -110,6 +127,14 @@ void GridScheduler::drain() {
     }
     const std::size_t i = next_.fetch_add(1);
     if (i >= count_) break;
+    // Queue wait: how long this cell sat unclaimed behind the cells ahead
+    // of it. Per claim, not per word — cells are whole simulation runs.
+    static obs::Histogram& queueWait = obs::histogram("grid.queue_wait_us");
+    const std::int64_t start = runStartNs_.load(std::memory_order_relaxed);
+    queueWait.record(
+        static_cast<std::uint64_t>(
+            std::max<std::int64_t>(0, monotonicNowNs() - start)) /
+        1000);
     executeCell(i);
   }
 }
@@ -132,6 +157,7 @@ void GridScheduler::run(std::size_t count,
                         const std::function<void(std::size_t)>& task,
                         const RunPolicy& policy) {
   if (count == 0) return;
+  runStartNs_.store(monotonicNowNs(), std::memory_order_relaxed);
   if (workers_.empty()) {
     // Serial degradation: same claim loop and failure aggregation, no
     // synchronization overhead beyond the shared code path.

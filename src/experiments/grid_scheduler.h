@@ -187,6 +187,7 @@ class GridScheduler {
   const RunPolicy* policy_ = nullptr;                       // current job
   std::size_t count_ = 0;
   std::atomic<std::size_t> next_{0};
+  std::atomic<std::int64_t> runStartNs_{0};  // obs: queue-wait baseline
   std::atomic<bool> stopClaims_{false};  // cancellation observed
   std::vector<CellFailure> failures_;    // guarded by mutex_
   unsigned busy_ = 0;          // workers still draining the current job

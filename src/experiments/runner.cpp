@@ -15,6 +15,8 @@
 #include "experiments/trace_collector.h"
 #include "netlist/batch_evaluator.h"
 #include "netlist/bitops.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace oisa::experiments {
 
@@ -143,7 +145,8 @@ void runCampaignGrid(std::size_t count, const RunOptions& options,
         static_cast<std::int64_t>(options.deadlineSeconds * 1e9)));
     policy.cancel = &cancel;
   }
-  CampaignMonitor monitor(owned, options.progress, options.heartbeat);
+  CampaignMonitor monitor(owned, options.progress, options.heartbeat,
+                          options.shard.skipCells.size());
   policy.retryCounter = monitor.retryCounter();
   // Deterministic poison cell for quarantine tests: the named cell dies
   // by abort() *after* announcing itself (so a supervisor sees it in
@@ -154,8 +157,12 @@ void runCampaignGrid(std::size_t count, const RunOptions& options,
       abortEnv != nullptr && *abortEnv != '\0'
           ? std::strtoull(abortEnv, nullptr, 10)
           : ~std::uint64_t{0};
+  static obs::Counter& cellsSkipped = obs::counter("grid.cells_not_owned");
   const auto wrapped = [&](std::size_t cell) {
-    if (!options.shard.owns(cell)) return;
+    if (!options.shard.owns(cell)) {
+      cellsSkipped.add();
+      return;
+    }
     monitor.cellStart(cell);
     if (cell == abortCell) {
       std::fprintf(stderr, "OISA_ABORT_ON_CELL: aborting in cell %zu\n",
@@ -165,6 +172,7 @@ void runCampaignGrid(std::size_t count, const RunOptions& options,
     task(cell);
     monitor.cellDone(cell);
   };
+  const obs::ObsSpan span("campaign", "grid", "owned_cells", owned);
   pool.run(count, wrapped, policy);
 }
 

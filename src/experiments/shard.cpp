@@ -12,6 +12,8 @@
 
 #include "core/fault_inject.h"
 #include "experiments/checkpoint.h"
+#include "obs/event_log.h"
+#include "obs/metrics.h"
 
 #ifndef _WIN32
 #include <csignal>
@@ -130,6 +132,28 @@ void HeartbeatEmitter::retries(std::uint64_t total) {
   writeLine("R " + std::to_string(total) + "\n");
 }
 
+void HeartbeatEmitter::metricDelta(std::string_view name,
+                                   std::uint64_t delta) {
+  std::string line = "M ";
+  line += name;
+  line += ' ';
+  line += std::to_string(delta);
+  line += '\n';
+  writeLine(line);
+}
+
+void HeartbeatEmitter::metricsFlush() {
+  const obs::MetricsSnapshot snap = obs::snapshotMetrics();
+  const std::lock_guard<std::mutex> lock(metricsMu_);
+  for (const auto& [name, value] : snap.counters) {
+    std::uint64_t& sent = lastSent_[name];
+    if (value <= sent) continue;  // counters are monotone; equal = quiet
+    const std::uint64_t delta = value - sent;
+    sent = value;
+    metricDelta(name, delta);
+  }
+}
+
 void HeartbeatEmitter::tick() { writeLine("H\n"); }
 
 void HeartbeatEmitter::writeLine(const std::string& line) {
@@ -162,10 +186,12 @@ void HeartbeatEmitter::writeLine(const std::string& line) {
 
 CampaignMonitor::CampaignMonitor(std::size_t totalCells,
                                  bool progressToStderr,
-                                 HeartbeatEmitter* heartbeat)
+                                 HeartbeatEmitter* heartbeat,
+                                 std::size_t quarantinedCells)
     : total_(totalCells),
       progress_(progressToStderr),
       heartbeat_(heartbeat),
+      quarantined_(quarantinedCells),
       start_(std::chrono::steady_clock::now()),
       lastPrint_(start_) {
   if (progress_ || heartbeat_ != nullptr) {
@@ -207,6 +233,10 @@ void CampaignMonitor::tickerLoop() {
         reportedRetries_ = retries;
         heartbeat_->retries(retries);
       }
+      // Stream obs counter deltas upstream so the supervisor's fleet
+      // rollup tracks the campaign live (cheap: registry snapshot every
+      // ~500 ms, against seconds-long cells).
+      heartbeat_->metricsFlush();
     }
     if (progress_) {
       const auto now = std::chrono::steady_clock::now();
@@ -228,6 +258,9 @@ void CampaignMonitor::printProgress() {
   std::string line = "progress: " + std::to_string(done) + "/" +
                      std::to_string(total_) + " cells";
   if (retries > 0) line += ", " + std::to_string(retries) + " retries";
+  if (quarantined_ > 0) {
+    line += ", " + std::to_string(quarantined_) + " quarantined";
+  }
   char timing[64];
   std::snprintf(timing, sizeof timing, ", elapsed %.1fs", elapsed);
   line += timing;
@@ -276,6 +309,14 @@ std::vector<std::string> defaultWorkerArgs(
   if (!quarantined.empty()) {
     args.push_back("--quarantine=" + formatCellList(quarantined));
   }
+  if (!options.workerMetricsBase.empty()) {
+    args.push_back("--metrics-out=" +
+                   shardCheckpointPath(options.workerMetricsBase, shard));
+  }
+  if (!options.workerTraceBase.empty()) {
+    args.push_back("--trace-out=" +
+                   shardCheckpointPath(options.workerTraceBase, shard));
+  }
   return args;
 }
 
@@ -307,6 +348,13 @@ core::StatusOr<ShardReport> runShardSupervisor(
       options.maxRestartsPerShard > 0
           ? options.maxRestartsPerShard
           : static_cast<unsigned>(strikesToQuarantine * cellsPerShard + 8);
+
+  // Durable JSONL record of fleet lifecycle; disabled when no path given.
+  obs::EventLog elog(options.eventLogPath);
+  elog.event("supervisor_start")
+      .u64("shards", options.shards)
+      .u64("cells", options.cellCount)
+      .u64("restart_budget", restartBudget);
 
   ShardReport report;
   std::vector<ShardState> shards(options.shards);
@@ -352,6 +400,12 @@ core::StatusOr<ShardReport> runShardSupervisor(
       q.lastExit = how;
       q.stalled = s.stallKilled;
       report.quarantined.push_back(q);
+      elog.event("quarantine")
+          .u64("cell", cell)
+          .u64("shard", shardIndex)
+          .u64("strikes", count)
+          .str("exit", how.toString())
+          .u64("stalled", s.stallKilled ? 1 : 0);
       std::fprintf(stderr,
                    "warning: quarantining cell %llu (shard %u): worker died "
                    "with %s %u time(s) while it was in flight\n",
@@ -364,6 +418,21 @@ core::StatusOr<ShardReport> runShardSupervisor(
   const auto handleLine = [&](ShardState& s, std::string_view line) {
     if (line.empty()) return;
     const char tag = line[0];
+    if (tag == 'M') {
+      // "M <name> <delta>" — accumulate into the fleet counter rollup.
+      // Deltas from restarted incarnations just keep adding: each line
+      // covers work since that incarnation's previous flush.
+      const std::size_t sp = line.rfind(' ');
+      if (sp == std::string::npos || sp <= 2 || sp + 1 == line.size()) return;
+      const std::string_view name = line.substr(2, sp - 2);
+      std::uint64_t delta = 0;
+      for (const char ch : line.substr(sp + 1)) {
+        if (ch < '0' || ch > '9') return;
+        delta = delta * 10 + static_cast<std::uint64_t>(ch - '0');
+      }
+      report.fleetCounters[std::string(name)] += delta;
+      return;
+    }
     std::uint64_t value = 0;
     if (tag == 'S' || tag == 'D' || tag == 'R') {
       if (line.size() <= 2) return;  // garbled; traffic already proves life
@@ -407,8 +476,10 @@ core::StatusOr<ShardReport> runShardSupervisor(
     std::uint64_t retries = 0;
     for (const ShardState& s : shards) retries += s.reportedRetries;
     std::fprintf(stderr,
-                 "shards: %zu/%zu cells, %u restart(s), %zu quarantined%s%s\n",
-                 completed.size(), options.cellCount, report.restarts,
+                 "shards: %zu/%zu cells, %llu retries, %u restart(s), "
+                 "%zu quarantined%s%s\n",
+                 completed.size(), options.cellCount,
+                 static_cast<unsigned long long>(retries), report.restarts,
                  quarantinedSet.size(), *event != '\0' ? " — " : "", event);
   };
 
@@ -428,6 +499,10 @@ core::StatusOr<ShardReport> runShardSupervisor(
       core::StatusOr<core::Subprocess> spawned =
           core::Subprocess::spawn(options.binary, buildArgs(i));
       if (!spawned.isOk()) {
+        elog.event("spawn_failed")
+            .u64("shard", i)
+            .u64("launch", s.launches)
+            .str("error", spawned.status().toString());
         std::fprintf(stderr, "warning: shard %u spawn failed: %s\n", i,
                      spawned.status().toString().c_str());
         ++report.restarts;
@@ -446,6 +521,7 @@ core::StatusOr<ShardReport> runShardSupervisor(
       s.lastTraffic = now;
       s.rx.clear();
       s.inFlight.clear();
+      elog.event("spawn").u64("shard", i).u64("launch", s.launches);
     }
     if (!failure.isOk()) break;
 
@@ -476,9 +552,15 @@ core::StatusOr<ShardReport> runShardSupervisor(
         if (end->clean()) {
           s.finished = true;
           s.inFlight.clear();
+          elog.event("shard_finished").u64("shard", i);
           progressLine(("shard " + std::to_string(i) + " finished").c_str());
           continue;
         }
+        elog.event("worker_died")
+            .u64("shard", i)
+            .str("exit", end->toString())
+            .u64("stalled", s.stallKilled ? 1 : 0)
+            .u64("in_flight", s.inFlight.size());
         strikeInFlight(i, s, *end);
         ++report.restarts;
         std::fprintf(stderr,
@@ -501,6 +583,9 @@ core::StatusOr<ShardReport> runShardSupervisor(
         std::fprintf(stderr,
                      "warning: shard %u silent for %.1fs; killing worker\n", i,
                      silentFor);
+        elog.event("stall_kill")
+            .u64("shard", i)
+            .u64("silent_ms", static_cast<std::uint64_t>(silentFor * 1000.0));
         s.stallKilled = true;
         s.proc.kill(SIGKILL);  // reaped by poll() next iteration
       }
@@ -531,6 +616,7 @@ core::StatusOr<ShardReport> runShardSupervisor(
     auto& quarantined = report.quarantined;
     for (auto it = quarantined.begin(); it != quarantined.end();) {
       if (merged.value().payload(it->cell) != nullptr) {
+        elog.event("absolve").u64("cell", it->cell);
         report.absolved.push_back(it->cell);
         completed.insert(it->cell);
         it = quarantined.erase(it);
@@ -538,6 +624,9 @@ core::StatusOr<ShardReport> runShardSupervisor(
         ++it;
       }
     }
+    elog.event("merge_saved")
+        .u64("cells", merged.value().completedCells())
+        .str("path", options.checkpointBase);
     if (const core::Status s =
             merged.value().saveTo(options.checkpointBase);
         !s.isOk()) {
@@ -554,6 +643,14 @@ core::StatusOr<ShardReport> runShardSupervisor(
   }
 
   report.cellsDone = completed.size();
+  {
+    auto done = elog.event("supervisor_done");
+    done.u64("cells_done", report.cellsDone)
+        .u64("restarts", report.restarts)
+        .u64("quarantined", report.quarantined.size())
+        .u64("absolved", report.absolved.size());
+    if (!failure.isOk()) done.str("failure", failure.toString());
+  }
   if (!failure.isOk()) return failure;
   return report;
 }

@@ -39,9 +39,11 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -89,10 +91,11 @@ struct ShardWorkerSpec {
 
 /// Writes newline-framed protocol messages to the supervisor's pipe:
 /// "S <cell>" when a cell starts, "D <cell>" when it completes,
-/// "R <total>" cumulative retries, "H" bare liveness tick. Every write
-/// is one short line (atomic under PIPE_BUF). The "worker.heartbeat"
-/// fault site drops lines before the write — to the supervisor the
-/// worker goes silent, which is exactly the stall the deadline catches.
+/// "R <total>" cumulative retries, "M <name> <delta>" a metric-counter
+/// delta since the last flush, "H" bare liveness tick. Every write is
+/// one short line (atomic under PIPE_BUF). The "worker.heartbeat" fault
+/// site drops lines before the write — to the supervisor the worker
+/// goes silent, which is exactly the stall the deadline catches.
 class HeartbeatEmitter {
  public:
   explicit HeartbeatEmitter(int fd) : fd_(fd) {}
@@ -105,6 +108,18 @@ class HeartbeatEmitter {
   void cellStart(std::uint64_t cell);
   void cellDone(std::uint64_t cell);
   void retries(std::uint64_t total);
+  /// One "M <name> <delta>" line (name must be space-free — metric names
+  /// are dotted identifiers).
+  void metricDelta(std::string_view name, std::uint64_t delta);
+  /// Streams every obs counter that moved since the last flush as M
+  /// lines — the worker half of the supervisor's fleet-wide rollup.
+  /// Called periodically by CampaignMonitor's ticker and once more after
+  /// the worker wrote its own metrics file, so on a clean run the
+  /// supervisor's accumulated fleet counters equal the sum of the
+  /// workers' metrics files exactly. (A crashed incarnation's unsent
+  /// tail is lost — the rollup stays monotone but undercounts, same as
+  /// the work the crash threw away.)
+  void metricsFlush();
   void tick();
 
  private:
@@ -113,6 +128,8 @@ class HeartbeatEmitter {
   int fd_ = -1;
   std::mutex mutex_;
   bool broken_ = false;
+  std::mutex metricsMu_;
+  std::map<std::string, std::uint64_t> lastSent_;  ///< per-counter high water
 };
 
 // --- grid-loop monitor -------------------------------------------------
@@ -125,8 +142,11 @@ class HeartbeatEmitter {
 /// by runCampaignGrid.
 class CampaignMonitor {
  public:
+  /// `quarantinedCells` — cells this run skips as quarantined (shown
+  /// live in every progress line, not only in the post-merge report).
   CampaignMonitor(std::size_t totalCells, bool progressToStderr,
-                  HeartbeatEmitter* heartbeat);
+                  HeartbeatEmitter* heartbeat,
+                  std::size_t quarantinedCells = 0);
   ~CampaignMonitor();
 
   CampaignMonitor(const CampaignMonitor&) = delete;
@@ -146,6 +166,7 @@ class CampaignMonitor {
   std::size_t total_;
   bool progress_;
   HeartbeatEmitter* heartbeat_;
+  std::size_t quarantined_ = 0;
   std::atomic<std::uint64_t> done_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::uint64_t reportedRetries_ = 0;  ///< ticker-only
@@ -175,6 +196,14 @@ struct ShardSupervisorOptions {
   /// + slack), the bound under which quarantine guarantees progress.
   unsigned maxRestartsPerShard = 0;
   bool progress = false;  ///< aggregate progress lines on stderr
+  /// JSONL fleet event log (spawn/restart/stall/quarantine/merge);
+  /// empty = disabled. CLI surface: --events-out.
+  std::string eventLogPath;
+  /// Per-worker observability sinks: when set, defaultWorkerArgs appends
+  /// --metrics-out=<base>.shard<i> / --trace-out=<base>.shard<i> so every
+  /// worker writes its own JSON next to the supervisor's.
+  std::string workerMetricsBase;
+  std::string workerTraceBase;
   /// Test seam: assembles worker argv for one shard given the current
   /// quarantine list. Defaults to the standard flag assembly
   /// (--shard-worker=i/N --checkpoint=<base> --resume [--quarantine=...]).
@@ -200,6 +229,10 @@ struct ShardReport {
   std::vector<std::uint64_t> absolved;
   unsigned restarts = 0;          ///< abnormal worker ends, all shards
   std::uint64_t cellsDone = 0;    ///< distinct completions observed
+  /// Fleet-wide counter rollup: the sum of every worker's streamed
+  /// "M <name> <delta>" lines, keyed by metric name. Exact on clean
+  /// runs; monotone-but-undercounting when workers crash mid-stream.
+  std::map<std::string, std::uint64_t> fleetCounters;
 };
 
 /// Runs the whole supervision loop: spawn one worker per shard, pump

@@ -6,6 +6,8 @@
 
 #include "circuits/isa_netlist.h"
 #include "netlist/bitops.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "timing/event_sim.h"
 #include "timing/sta.h"
 
@@ -82,11 +84,24 @@ predict::Trace TraceCollector::collect(Workload& workload,
       compiled_->inputNets().size() ==
           static_cast<std::size_t>(2 * width + 1) &&
       compiled_->outputNets().size() == static_cast<std::size_t>(width + 1);
+  // Engine counters are drained here, at the collect boundary — one span
+  // and two counter adds per collect, never inside the per-cycle or
+  // per-word loops (the instrumentation-cost contract micro_obs gates).
+  const obs::ObsSpan span("trace.collect", "sim", "cycles", cycles);
+  static obs::Counter& eventsCommitted = obs::counter("sim.events_committed");
+  static obs::Counter& laneTransitions = obs::counter("sim.lane_transitions");
+  static obs::Counter& collects = obs::counter("sim.collects");
+  const std::uint64_t events0 = sampler_->simulator().eventsProcessed();
+  const std::uint64_t lanes0 = sampler_->simulator().laneTransitionsCommitted();
   if (lanes <= 1 || !adderPorts) {
     fillSilverScalar(stimuli, trace);
   } else {
     fillSilverLane(stimuli, trace, lanes);
   }
+  collects.add();
+  eventsCommitted.add(sampler_->simulator().eventsProcessed() - events0);
+  laneTransitions.add(sampler_->simulator().laneTransitionsCommitted() -
+                      lanes0);
   return trace;
 }
 
@@ -109,6 +124,10 @@ void TraceCollector::fillSilverScalar(std::span<const Stimulus> stimuli,
     trace[t].silver = circuits::unpackSum(outputs, width);
     trace[t].silverCout = circuits::unpackCarryOut(outputs, width);
   }
+  // The scalar path's wheel engine is local to this fill; credit its
+  // event total to the same counter the lane path feeds.
+  static obs::Counter& eventsCommitted = obs::counter("sim.events_committed");
+  eventsCommitted.add(sim.eventsProcessed());
 }
 
 void TraceCollector::fillSilverLane(std::span<const Stimulus> stimuli,

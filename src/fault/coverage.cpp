@@ -5,6 +5,9 @@
 #include <bit>
 #include <random>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace oisa::fault {
 
 namespace {
@@ -39,6 +42,9 @@ class RefEngineView final : public AnyPpsfpEngine {
   [[nodiscard]] std::uint64_t gateEvaluations() const noexcept override {
     return engine_.gateEvaluations();
   }
+  [[nodiscard]] std::uint64_t activationSkips() const noexcept override {
+    return engine_.activationSkips();
+  }
   [[nodiscard]] const std::shared_ptr<const netlist::CompiledNetlist>&
   compiled() const noexcept override {
     return engine_.compiled();
@@ -54,6 +60,13 @@ CoverageResult runCoverage(const FaultUniverse& universe,
                            AnyPpsfpEngine& engine,
                            const CoverageOptions& options,
                            const PatternBlockSource& source) {
+  // Engine counters drain once per campaign at the end of this function
+  // — counters only, outside the per-fault and per-word loops.
+  const obs::ObsSpan span("fault.coverage", "fault", "classes",
+                          universe.collapsed().size());
+  const std::uint64_t faults0 = engine.faultsSimulated();
+  const std::uint64_t evals0 = engine.gateEvaluations();
+  const std::uint64_t skips0 = engine.activationSkips();
   const auto classes = universe.collapsed();
   const std::size_t kWords = engine.wordsPerNet();
   CoverageResult result;
@@ -96,6 +109,16 @@ CoverageResult runCoverage(const FaultUniverse& universe,
       result.patternsApplied += count;
     }
   }
+  static obs::Counter& faultsSimulated = obs::counter("fault.faults_simulated");
+  static obs::Counter& gateEvals = obs::counter("fault.gate_evaluations");
+  static obs::Counter& skips = obs::counter("fault.activation_skips");
+  static obs::Counter& patterns = obs::counter("fault.patterns_applied");
+  static obs::Counter& detected = obs::counter("fault.classes_detected");
+  faultsSimulated.add(engine.faultsSimulated() - faults0);
+  gateEvals.add(engine.gateEvaluations() - evals0);
+  skips.add(engine.activationSkips() - skips0);
+  patterns.add(result.patternsApplied);
+  detected.add(result.detectedClasses);
   return result;
 }
 

@@ -176,6 +176,12 @@ class PpsfpEngineT {
   [[nodiscard]] std::uint64_t gateEvaluations() const noexcept {
     return evalCount_;
   }
+  /// Faults skipped by the activation fast exit (forced value equal to
+  /// the stem's good block in every valid lane): the early-out rate the
+  /// observability layer reports is activationSkips()/faultsSimulated().
+  [[nodiscard]] std::uint64_t activationSkips() const noexcept {
+    return skipCount_;
+  }
 
   [[nodiscard]] const std::shared_ptr<const netlist::CompiledNetlist>&
   compiled() const noexcept {
@@ -227,6 +233,7 @@ class PpsfpEngineT {
     std::uint32_t branchGate = 0xffffffff;
     std::uint32_t branchPins = 0;
     if (!((forced ^ goodBlock(f.net)) & laneMask_).any()) {
+      ++skipCount_;  // per fault, outside the word loop
       return Block::zero();
     }
     if (f.isStem()) {
@@ -291,6 +298,7 @@ class PpsfpEngineT {
   std::uint32_t minLevel_ = 0;  // first frontier bucket used this fault
   std::uint64_t faultCount_ = 0;
   std::uint64_t evalCount_ = 0;
+  std::uint64_t skipCount_ = 0;
 };
 
 /// The canonical 64-lane reference engine (original API: one word per

@@ -31,6 +31,7 @@ class AnyPpsfpEngine {
                                std::span<std::uint64_t> out) = 0;
   [[nodiscard]] virtual std::uint64_t faultsSimulated() const noexcept = 0;
   [[nodiscard]] virtual std::uint64_t gateEvaluations() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t activationSkips() const noexcept = 0;
   [[nodiscard]] virtual const std::shared_ptr<const netlist::CompiledNetlist>&
   compiled() const noexcept = 0;
 };

@@ -40,6 +40,9 @@ class PpsfpEngineAdapter final : public AnyPpsfpEngine {
   [[nodiscard]] std::uint64_t gateEvaluations() const noexcept override {
     return impl_.gateEvaluations();
   }
+  [[nodiscard]] std::uint64_t activationSkips() const noexcept override {
+    return impl_.activationSkips();
+  }
   [[nodiscard]] const std::shared_ptr<const netlist::CompiledNetlist>&
   compiled() const noexcept override {
     return impl_.compiled();

@@ -1,0 +1,81 @@
+#include "obs/event_log.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace oisa::obs {
+
+namespace {
+
+std::int64_t wallClockMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+EventLog::EventLog(const std::string& path) {
+  if (path.empty()) return;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "warning: cannot open event log '%s'; continuing\n",
+                 path.c_str());
+  }
+}
+
+EventLog::~EventLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void EventLog::writeLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+EventLog::Event::Event(EventLog* log, std::string_view name) : log_(log) {
+  if (log_ == nullptr) return;
+  line_ = "{\"ts_ms\": " + std::to_string(wallClockMs()) + ", \"event\": \"";
+  appendJsonEscaped(line_, name);
+  line_ += '"';
+}
+
+EventLog::Event& EventLog::Event::str(std::string_view key,
+                                      std::string_view value) {
+  if (log_ == nullptr) return *this;
+  line_ += ", \"";
+  appendJsonEscaped(line_, key);
+  line_ += "\": \"";
+  appendJsonEscaped(line_, value);
+  line_ += '"';
+  return *this;
+}
+
+EventLog::Event& EventLog::Event::u64(std::string_view key,
+                                      std::uint64_t value) {
+  if (log_ == nullptr) return *this;
+  line_ += ", \"";
+  appendJsonEscaped(line_, key);
+  line_ += "\": " + std::to_string(value);
+  return *this;
+}
+
+EventLog::Event& EventLog::Event::i64(std::string_view key,
+                                      std::int64_t value) {
+  if (log_ == nullptr) return *this;
+  line_ += ", \"";
+  appendJsonEscaped(line_, key);
+  line_ += "\": " + std::to_string(value);
+  return *this;
+}
+
+EventLog::Event::~Event() {
+  if (log_ == nullptr) return;
+  line_ += '}';
+  log_->writeLine(line_);
+}
+
+}  // namespace oisa::obs

@@ -1,0 +1,70 @@
+// oisa_obs: structured JSONL event log.
+//
+// One JSON object per line, appended and flushed immediately — the shard
+// supervisor's durable record of fleet lifecycle events (spawn, restart,
+// stall-kill, quarantine, absolution, merge). JSONL because a crashed
+// supervisor leaves every completed line parseable, and `jq` and
+// `python -m json.tool` consume it line by line.
+//
+// Cold path by design (events are per-worker-lifecycle, not per-cell):
+// a mutex serializes writers and every line is flushed on emit.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace oisa::obs {
+
+class EventLog {
+ public:
+  /// Disabled log: emits are no-ops.
+  EventLog() = default;
+
+  /// Opens (truncates) `path` for appending events; an empty path or a
+  /// failed open yields a disabled log (campaigns must not die for want
+  /// of a log file — the open failure is reported on stderr once).
+  explicit EventLog(const std::string& path);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+  ~EventLog();
+
+  [[nodiscard]] bool enabled() const noexcept { return file_ != nullptr; }
+
+  /// Fluent single-line event builder; the line is written and flushed
+  /// when the Event goes out of scope:
+  ///   log.event("quarantine").u64("cell", 5).u64("strikes", 2);
+  class Event {
+   public:
+    Event(Event&&) = delete;
+    Event& operator=(Event&&) = delete;
+    Event(const Event&) = delete;
+    Event& operator=(const Event&) = delete;
+
+    Event& str(std::string_view key, std::string_view value);
+    Event& u64(std::string_view key, std::uint64_t value);
+    Event& i64(std::string_view key, std::int64_t value);
+    ~Event();
+
+   private:
+    friend class EventLog;
+    Event(EventLog* log, std::string_view name);
+    EventLog* log_;
+    std::string line_;
+  };
+
+  [[nodiscard]] Event event(std::string_view name) {
+    return Event(enabled() ? this : nullptr, name);
+  }
+
+ private:
+  void writeLine(const std::string& line);
+
+  std::FILE* file_ = nullptr;
+  std::mutex mu_;
+};
+
+}  // namespace oisa::obs

@@ -1,0 +1,200 @@
+// oisa_obs: lock-free metrics registry.
+//
+// The always-on counting substrate every long-lived run stands on:
+// handles registered once by static name, per-thread sharded atomic
+// accumulation on the hot path, aggregation deferred to snapshot time.
+//
+// Design:
+//   * `Counter` / `Gauge` / `Histogram` handles are interned by name in a
+//     process-global registry and never move or die, so call sites cache
+//     the reference in a function-local static and pay one init-guard
+//     check plus one relaxed atomic add per update.
+//   * `Counter` spreads its adds over cache-line-padded shards indexed by
+//     a per-thread slot, so concurrent writers on different cores do not
+//     bounce one line. Snapshots sum the shards — exact at any quiescent
+//     point (all relaxed adds are individually atomic; nothing is lost).
+//   * The whole registry sits behind one process-global enable flag
+//     (`setMetricsEnabled`). Disabled, every update is a single relaxed
+//     load and a branch — the "no sink attached" cost that bench/micro_obs
+//     gates at <= 3% on the fig7 cell path.
+//   * Histograms bucket by log2 (bucket i counts values in [2^(i-1), 2^i)
+//     with bucket 0 for zero), plus exact total count/sum and a CAS max —
+//     enough for latency distributions without per-record allocation.
+//
+// Telemetry is side-effect-only by construction: nothing in this layer
+// feeds back into simulation state, so every CSV stays byte-identical
+// with metrics on or off (CI cross-check #11).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace oisa::obs {
+
+namespace detail {
+/// Process-global kill switch, checked (relaxed) by every update.
+extern std::atomic<bool> gMetricsEnabled;
+/// Stable small id for the calling thread, used to pick a counter shard.
+[[nodiscard]] std::size_t threadShardSlot() noexcept;
+}  // namespace detail
+
+/// Counter shard fan-out. Power of two; 16 lines = 1 KiB per counter,
+/// enough to keep an 8-16 thread grid pool off each other's lines.
+inline constexpr std::size_t kCounterShards = 16;
+
+/// Log2 histogram buckets: bucket 0 holds zeros, bucket i (1..64) holds
+/// values with bit_width i, i.e. [2^(i-1), 2^i).
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+/// Monotonic event counter. add() is wait-free: one relaxed fetch_add on
+/// the caller's shard.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!detail::gMetricsEnabled.load(std::memory_order_relaxed)) return;
+    shards_[detail::threadShardSlot() & (kCounterShards - 1)].v.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Snapshot sum over all shards. Exact whenever no add() is in flight.
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void resetForTest() noexcept {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kCounterShards];
+};
+
+/// Last-write-wins instantaneous value (queue depths, fleet sizes).
+/// Gauges are low-rate; a single atomic is enough.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    if (!detail::gMetricsEnabled.load(std::memory_order_relaxed)) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) noexcept {
+    if (!detail::gMetricsEnabled.load(std::memory_order_relaxed)) return;
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void resetForTest() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log2-bucketed value distribution with exact count/sum and a max.
+/// record() is lock-free: three relaxed adds plus a CAS max loop that
+/// only spins while the recorded value is a new maximum.
+class Histogram {
+ public:
+  void record(std::uint64_t v) noexcept {
+    if (!detail::gMetricsEnabled.load(std::memory_order_relaxed)) return;
+    const std::size_t bucket = static_cast<std::size_t>(
+        v == 0 ? 0 : 64 - static_cast<std::size_t>(__builtin_clzll(v)));
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void resetForTest() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kHistogramBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// One aggregated reading of the whole registry.
+struct MetricsSnapshot {
+  struct HistogramSample {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+    /// Non-empty buckets only: (bucket lower bound, count).
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSample> histograms;
+};
+
+/// Interns `name` (cold path, mutex) and returns the stable handle. Call
+/// sites cache it: `static obs::Counter& c = obs::counter("grid.retries");`
+[[nodiscard]] Counter& counter(std::string_view name);
+[[nodiscard]] Gauge& gauge(std::string_view name);
+[[nodiscard]] Histogram& histogram(std::string_view name);
+
+/// Master switch. Off (the default is ON) every update degenerates to a
+/// relaxed load + branch; micro_obs measures exactly this "stripped" mode.
+void setMetricsEnabled(bool enabled) noexcept;
+[[nodiscard]] bool metricsEnabled() noexcept;
+
+/// Aggregates every registered metric (registry order = name order).
+[[nodiscard]] MetricsSnapshot snapshotMetrics();
+
+/// Zeroes every registered metric (handles stay valid). Test isolation
+/// and the baseline for delta streaming both key off this.
+void resetMetricsForTest();
+
+/// Serializes `snap` as the oisa-metrics-v1 JSON document. `meta` (may be
+/// empty) lands under "meta"; `fleet` (may be null) — the supervisor's
+/// accumulated worker counter deltas — lands under "fleet".
+[[nodiscard]] std::string metricsJson(
+    const MetricsSnapshot& snap,
+    const std::map<std::string, std::string>& meta,
+    const std::map<std::string, std::uint64_t>* fleet);
+
+/// snapshotMetrics() + metricsJson() + write to `path`.
+[[nodiscard]] core::Status writeMetricsJson(
+    const std::string& path, const std::map<std::string, std::string>& meta,
+    const std::map<std::string, std::uint64_t>* fleet = nullptr);
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included). Shared by the metrics, trace and event-log writers.
+void appendJsonEscaped(std::string& out, std::string_view s);
+
+}  // namespace oisa::obs

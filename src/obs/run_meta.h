@@ -1,0 +1,27 @@
+// oisa_obs: run attribution metadata.
+//
+// The facts that make a perf number or a metrics dump attributable after
+// the fact: which commit, which host, how many hardware threads, which
+// process. The git sha is baked in at configure time (OISA_BUILD_GIT_SHA)
+// and can be overridden at run time via OISA_GIT_SHA or GITHUB_SHA — CI
+// checkouts often build from a tarball where `git` saw nothing.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace oisa::obs {
+
+/// Commit sha: env OISA_GIT_SHA, else GITHUB_SHA, else the configure-time
+/// sha, else "unknown".
+[[nodiscard]] std::string gitSha();
+
+/// gethostname(), "unknown" on failure.
+[[nodiscard]] std::string hostName();
+
+/// Baseline attribution map: git_sha, hostname, pid, hw_threads. Callers
+/// (bench_common) extend it with bench-specific facts (lane width/arch,
+/// configured thread count) before embedding it in a JSON epilogue.
+[[nodiscard]] std::map<std::string, std::string> runMetadata();
+
+}  // namespace oisa::obs

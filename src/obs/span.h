@@ -1,0 +1,133 @@
+// oisa_obs: span tracing.
+//
+// RAII `ObsSpan` scopes record wall-time intervals into a bounded
+// lock-free ring buffer and serialize as Chrome trace-event JSON — the
+// `{"traceEvents": [...]}` format chrome://tracing and Perfetto open
+// directly (https://ui.perfetto.dev, drag the file in).
+//
+// Hot-path contract:
+//   * Tracing is off by default. A disarmed ObsSpan costs one relaxed
+//     atomic load and a branch — cheap enough to leave in per-cell and
+//     per-collect code permanently.
+//   * Armed, the span captures a steady_clock timestamp at open and
+//     pushes one fixed-size POD event at close. The push is a bounded
+//     MPMC ring insert (Vyukov sequence-slot scheme): wait-free for
+//     practical purposes and it NEVER blocks — when the ring is full the
+//     event is counted dropped and the worker moves on. Slow or wedged
+//     trace consumers can therefore never stall a campaign.
+//   * Every thread keeps a thread-local span stack (names + depth);
+//     events record their nesting depth so a flame view reconstructs even
+//     across ring drops.
+//
+// Ordering note: events drain in ring order, which is completion order,
+// not start order; trace viewers sort by `ts` themselves.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/status.h"
+
+namespace oisa::obs {
+
+/// Fixed-size POD trace record. `name` is copied (truncated) so spans can
+/// label themselves with stack-built strings; `cat` and `argKey` must be
+/// string literals (or otherwise outlive the tracing session).
+struct TraceEvent {
+  static constexpr std::size_t kNameCapacity = 48;
+  char name[kNameCapacity];
+  const char* cat = nullptr;
+  std::uint64_t tsUs = 0;   ///< span start, µs since session start
+  std::uint64_t durUs = 0;  ///< span duration in µs
+  std::uint32_t tid = 0;    ///< dense per-thread id (order of first span)
+  std::uint32_t depth = 0;  ///< nesting depth at open (0 = top level)
+  const char* argKey = nullptr;  ///< optional single argument, nullptr = none
+  std::uint64_t argValue = 0;
+  char phase = 'X';  ///< Chrome phase: 'X' complete span, 'i' instant
+};
+
+/// Bounded lock-free MPMC ring (Vyukov sequence-slot queue). tryPush on a
+/// full ring drops the event and bumps the drop counter instead of ever
+/// waiting; tryPop drains in FIFO order.
+class TraceRing {
+ public:
+  /// `capacity` is rounded up to a power of two, minimum 8.
+  explicit TraceRing(std::size_t capacity);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  [[nodiscard]] bool tryPush(const TraceEvent& ev) noexcept;
+  [[nodiscard]] bool tryPop(TraceEvent& out) noexcept;
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> seq;
+    TraceEvent ev;
+  };
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< next push position
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< next pop position
+  alignas(64) std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Arms tracing with a fresh ring of `capacity` events and restarts the
+/// session clock. Idempotent per session: a second call replaces the ring
+/// (any undrained events are discarded).
+void startTracing(std::size_t capacity = std::size_t{1} << 16);
+
+/// Disarms tracing and discards the ring. (Primarily test isolation.)
+void stopTracing();
+
+[[nodiscard]] bool tracingEnabled() noexcept;
+
+/// Events dropped by the current session's ring (0 when disarmed).
+[[nodiscard]] std::uint64_t traceDropped() noexcept;
+
+/// Drains the ring into a Chrome trace-event JSON document:
+/// {"traceEvents":[{name,cat,ph:"X",ts,dur,pid,tid,args:{...}}...],
+///  "otherData":{"schema":"oisa-trace-v1","dropped":N}}.
+[[nodiscard]] std::string drainTraceJson();
+
+/// drainTraceJson() + write to `path`.
+[[nodiscard]] core::Status writeTraceJson(const std::string& path);
+
+/// RAII traced scope. Constructed disarmed when tracing is off.
+class ObsSpan {
+ public:
+  ObsSpan(const char* name, const char* cat) noexcept
+      : ObsSpan(name, cat, nullptr, 0) {}
+
+  /// `argKey` (a literal) attaches one numeric argument to the event,
+  /// e.g. ObsSpan("cell", "grid", "cell", cellIndex).
+  ObsSpan(const char* name, const char* cat, const char* argKey,
+          std::uint64_t argValue) noexcept;
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  ~ObsSpan();
+
+ private:
+  std::uint64_t startUs_ = 0;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  const char* argKey_ = nullptr;
+  std::uint64_t argValue_ = 0;
+  std::uint32_t depth_ = 0;
+  bool armed_ = false;
+};
+
+/// Zero-duration instant event ("i" phase in the trace): marks a moment
+/// (worker restart, checkpoint flush) rather than a scope.
+void traceInstant(const char* name, const char* cat) noexcept;
+
+}  // namespace oisa::obs

@@ -10,6 +10,7 @@
 #include "ml/importance.h"
 #include "ml/serialize.h"
 #include "netlist/bitops.h"
+#include "obs/metrics.h"
 
 namespace oisa::predict {
 
@@ -300,6 +301,15 @@ void BitLevelPredictor::predictFlipsBlock(
     out[lane].sumFlips = predWords[lane] & (coutBit - 1);
     out[lane].coutFlip = (predWords[lane] & coutBit) != 0;
   }
+  // Serving telemetry: three adds per <=64-record block, never per lane.
+  // Occupancy tracks how full the batch-64 blocks arrive — the request
+  // coalescing headroom the future serving layer cares about.
+  static obs::Counter& blocksServed = obs::counter("predict.blocks_served");
+  static obs::Counter& recordsServed = obs::counter("predict.records_served");
+  static obs::Histogram& occupancy = obs::histogram("predict.block_occupancy");
+  blocksServed.add();
+  recordsServed.add(lanes);
+  occupancy.record(lanes);
 }
 
 PredictedFlips BitLevelPredictor::predictFlipsReference(
@@ -451,6 +461,11 @@ PredictorEvaluation BitLevelPredictor::evaluate(
   eval.abper = abperSum / static_cast<double>(bits);
   const std::uint64_t avpeCycles = eval.cycles - eval.avpeSkipped;
   eval.avpe = avpeCycles ? avpeSum / static_cast<double>(avpeCycles) : 0.0;
+  // Two adds per evaluation sweep, outside every packed-word loop.
+  static obs::Counter& evaluations = obs::counter("predict.evaluations");
+  static obs::Counter& evalRows = obs::counter("predict.eval_rows");
+  evaluations.add();
+  evalRows.add(eval.cycles);
   return eval;
 }
 

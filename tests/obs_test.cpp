@@ -1,0 +1,310 @@
+// oisa_obs: the telemetry substrate's own guarantees. Counters must be
+// exact under concurrent hammering (sharded relaxed atomics still sum to
+// the true total at a quiescent point), histograms must count/sum/max
+// exactly with log2 bucketing, the span ring must drop-and-count instead
+// of blocking on overflow, the JSON writers must emit the documented
+// schemas (CI re-validates the artifacts with python -m json.tool), and
+// the whole substrate must degenerate to near-nothing when disabled.
+// This binary is also in the thread-sanitizer CI leg: the hammer tests
+// double as data-race detectors there.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/run_meta.h"
+#include "obs/span.h"
+
+namespace {
+
+using namespace oisa;
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::resetMetricsForTest();
+    obs::setMetricsEnabled(true);
+    obs::stopTracing();
+  }
+  void TearDown() override {
+    obs::stopTracing();
+    obs::setMetricsEnabled(true);
+  }
+};
+
+// --- metrics registry --------------------------------------------------
+
+TEST_F(ObsTest, CounterSumIsExactUnderConcurrentHammer) {
+  obs::Counter& c = obs::counter("test.hammer");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Quiescent point: every writer joined, so the shard sum is exact.
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  const obs::MetricsSnapshot snap = obs::snapshotMetrics();
+  EXPECT_EQ(snap.counters.at("test.hammer"), kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, CounterHandleIsStableAndInterned) {
+  obs::Counter& a = obs::counter("test.same");
+  obs::Counter& b = obs::counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+}
+
+TEST_F(ObsTest, DisabledMetricsRecordNothing) {
+  obs::Counter& c = obs::counter("test.disabled");
+  obs::Histogram& h = obs::histogram("test.disabled_hist");
+  obs::setMetricsEnabled(false);
+  c.add(100);
+  h.record(42);
+  obs::setMetricsEnabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  const obs::MetricsSnapshot snap = obs::snapshotMetrics();
+  EXPECT_EQ(snap.histograms.at("test.disabled_hist").count, 0u);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);  // re-enabled handle keeps working
+}
+
+TEST_F(ObsTest, GaugeSetAndAdd) {
+  obs::Gauge& g = obs::gauge("test.gauge");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  const obs::MetricsSnapshot snap = obs::snapshotMetrics();
+  EXPECT_EQ(snap.gauges.at("test.gauge"), 7);
+}
+
+TEST_F(ObsTest, HistogramExactCountSumMaxAndLog2Buckets) {
+  obs::Histogram& h = obs::histogram("test.hist");
+  h.record(0);   // bucket 0 (zeros)
+  h.record(1);   // bucket 1: [1,2)
+  h.record(7);   // bucket 3: [4,8)
+  h.record(8);   // bucket 4: [8,16)
+  h.record(1000);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1016u);
+  EXPECT_EQ(h.max(), 1000u);
+  const obs::MetricsSnapshot snap = obs::snapshotMetrics();
+  const auto& s = snap.histograms.at("test.hist");
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 1016u);
+  EXPECT_EQ(s.max, 1000u);
+  // Snapshot buckets carry (lower bound, count) for non-empty buckets:
+  // 0 -> lower 0, 1 -> lower 1, 7 -> lower 4, 8 -> lower 8, 1000 -> 512.
+  std::map<std::uint64_t, std::uint64_t> got(s.buckets.begin(),
+                                             s.buckets.end());
+  const std::map<std::uint64_t, std::uint64_t> want = {
+      {0, 1}, {1, 1}, {4, 1}, {8, 1}, {512, 1}};
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(ObsTest, HistogramConcurrentHammerKeepsCountAndSumExact) {
+  obs::Histogram& h = obs::histogram("test.hist_hammer");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  // sum of (t+1)*kPerThread for t in [0,8) = kPerThread * 36
+  EXPECT_EQ(h.sum(), kPerThread * 36);
+  EXPECT_EQ(h.max(), 8u);
+}
+
+TEST_F(ObsTest, MetricsJsonCarriesSchemaMetaSectionsAndFleet) {
+  obs::counter("test.json_counter").add(5);
+  obs::gauge("test.json_gauge").set(-2);
+  obs::histogram("test.json_hist").record(3);
+  const std::map<std::string, std::string> meta = {{"git_sha", "abc"},
+                                                   {"note", "q\"uote"}};
+  const std::map<std::string, std::uint64_t> fleet = {{"fleet.cells", 12}};
+  const std::string doc =
+      obs::metricsJson(obs::snapshotMetrics(), meta, &fleet);
+  EXPECT_NE(doc.find("\"schema\": \"oisa-metrics-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"git_sha\": \"abc\""), std::string::npos);
+  EXPECT_NE(doc.find("q\\\"uote"), std::string::npos);  // escaped
+  EXPECT_NE(doc.find("\"test.json_counter\": 5"), std::string::npos);
+  EXPECT_NE(doc.find("\"test.json_gauge\": -2"), std::string::npos);
+  EXPECT_NE(doc.find("\"test.json_hist\""), std::string::npos);
+  EXPECT_NE(doc.find("\"fleet\""), std::string::npos);
+  EXPECT_NE(doc.find("\"fleet.cells\": 12"), std::string::npos);
+}
+
+TEST_F(ObsTest, JsonEscaping) {
+  std::string out;
+  obs::appendJsonEscaped(out, "a\"b\\c\nd\te\x01");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+}
+
+TEST_F(ObsTest, RunMetadataHasTheAttributionKeys) {
+  const auto meta = obs::runMetadata();
+  EXPECT_EQ(meta.count("git_sha"), 1u);
+  EXPECT_EQ(meta.count("hostname"), 1u);
+  EXPECT_EQ(meta.count("pid"), 1u);
+  EXPECT_EQ(meta.count("hw_threads"), 1u);
+  EXPECT_FALSE(meta.at("git_sha").empty());
+}
+
+// --- span tracing ------------------------------------------------------
+
+TEST_F(ObsTest, SpansRecordNameCategoryDurationAndNesting) {
+  obs::startTracing();
+  {
+    const obs::ObsSpan outer("outer", "test");
+    const obs::ObsSpan inner("inner", "test", "cells", 42);
+  }
+  obs::traceInstant("marker", "test");
+  const std::string doc = obs::drainTraceJson();
+  obs::stopTracing();
+  // Chrome trace-event format: inner closes first (depth 1), then outer
+  // (depth 0); the instant event carries "s": "t".
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  const std::size_t innerPos = doc.find("\"name\": \"inner\"");
+  const std::size_t outerPos = doc.find("\"name\": \"outer\"");
+  ASSERT_NE(innerPos, std::string::npos);
+  ASSERT_NE(outerPos, std::string::npos);
+  EXPECT_LT(innerPos, outerPos);
+  EXPECT_NE(doc.find("\"cells\": 42"), std::string::npos);
+  EXPECT_NE(doc.find("\"depth\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"name\": \"marker\""), std::string::npos);
+  EXPECT_NE(doc.find("\"s\": \"t\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\": \"oisa-trace-v1\""), std::string::npos);
+  EXPECT_NE(doc.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+}
+
+TEST_F(ObsTest, DisarmedSpansCostNothingAndRecordNothing) {
+  // No startTracing: spans are disarmed no-ops.
+  {
+    const obs::ObsSpan span("ghost", "test");
+  }
+  obs::startTracing();
+  const std::string doc = obs::drainTraceJson();
+  obs::stopTracing();
+  EXPECT_EQ(doc.find("ghost"), std::string::npos);
+  EXPECT_NE(doc.find("\"drained\": 0"), std::string::npos);
+}
+
+TEST_F(ObsTest, RingOverflowDropsAndCountsInsteadOfBlocking) {
+  obs::startTracing(8);  // tiny ring: capacity rounds to 8
+  for (int i = 0; i < 100; ++i) {
+    const obs::ObsSpan span("evt", "test");
+  }
+  EXPECT_EQ(obs::traceDropped(), 100u - 8u);
+  const std::string doc = obs::drainTraceJson();
+  obs::stopTracing();
+  EXPECT_NE(doc.find("\"dropped\": 92"), std::string::npos);
+  EXPECT_NE(doc.find("\"drained\": 8"), std::string::npos);
+}
+
+TEST_F(ObsTest, ConcurrentSpansAllLandWhenTheRingIsLargeEnough) {
+  obs::startTracing(1 << 12);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const obs::ObsSpan span("par", "test");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(obs::traceDropped(), 0u);
+  const std::string doc = obs::drainTraceJson();
+  obs::stopTracing();
+  std::ostringstream want;
+  want << "\"drained\": " << kThreads * kPerThread;
+  EXPECT_NE(doc.find(want.str()), std::string::npos);
+}
+
+TEST_F(ObsTest, StopStartTracingIsSafeWhileSpansRace) {
+  // Lifetime guarantee under TSan: rings are retired, never freed, so a
+  // span holding the old ring across a stop/start cannot use-after-free.
+  std::atomic<bool> stop{false};
+  std::thread spanner([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::ObsSpan span("racer", "test");
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    obs::startTracing(64);
+    obs::stopTracing();
+  }
+  stop.store(true);
+  spanner.join();
+}
+
+TEST_F(ObsTest, WriteTraceJsonRoundTripsThroughAFile) {
+  obs::startTracing();
+  {
+    const obs::ObsSpan span("file_span", "test");
+  }
+  const std::string path = ::testing::TempDir() + "obs_trace.json";
+  ASSERT_TRUE(obs::writeTraceJson(path).isOk());
+  obs::stopTracing();
+  std::ifstream is(path);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  EXPECT_NE(buf.str().find("\"file_span\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- event log ---------------------------------------------------------
+
+TEST_F(ObsTest, EventLogWritesOneJsonObjectPerLine) {
+  const std::string path = ::testing::TempDir() + "obs_events.jsonl";
+  {
+    obs::EventLog log(path);
+    ASSERT_TRUE(log.enabled());
+    log.event("spawn").u64("shard", 0).u64("launch", 1);
+    log.event("quarantine")
+        .u64("cell", 5)
+        .u64("strikes", 3)
+        .str("exit", "signal 9 (\"SIGKILL\")");
+  }
+  std::ifstream is(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(is, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"event\": \"spawn\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ts_ms\": "), std::string::npos);
+  EXPECT_NE(lines[0].find("\"shard\": 0"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"cell\": 5"), std::string::npos);
+  EXPECT_NE(lines[1].find("\\\"SIGKILL\\\""), std::string::npos);  // escaped
+  EXPECT_EQ(lines[0].front(), '{');
+  EXPECT_EQ(lines[0].back(), '}');
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, DisabledEventLogIsANoOp) {
+  obs::EventLog log;  // no path
+  EXPECT_FALSE(log.enabled());
+  log.event("ignored").u64("x", 1);  // must not crash
+}
+
+}  // namespace

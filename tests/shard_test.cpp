@@ -27,6 +27,7 @@
 #include "experiments/checkpoint.h"
 #include "experiments/cli.h"
 #include "experiments/shard.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -270,6 +271,21 @@ TEST(ShardSupervisorTest, CleanRunCompletesAndMergesAllCells) {
   expectMergedSnapshotComplete(fleet.base, fleet.cells, {});
 }
 
+TEST(ShardSupervisorTest, FleetCountersSumWorkerDeltasExactly) {
+  // Each fake worker bumps obs counter "fake.cells" once per completed
+  // cell and streams the delta over the heartbeat pipe ("M" lines); on a
+  // clean run the supervisor's rollup must equal the total cell count —
+  // the exactness the merged-metrics acceptance check relies on.
+  FakeFleet fleet;
+  fleet.base = tempBase("fleet_metrics");
+  const auto report = runShardSupervisor(fleet.options());
+  ASSERT_TRUE(report.isOk()) << report.status().toString();
+  ASSERT_EQ(report.value().fleetCounters.count("fake.cells"), 1u);
+  EXPECT_EQ(report.value().fleetCounters.at("fake.cells"), fleet.cells);
+  EXPECT_EQ(report.value().fleetCounters.at("fake.cells"),
+            report.value().cellsDone);
+}
+
 TEST(ShardSupervisorTest, CrashedWorkerIsRestartedAndResumes) {
   FakeFleet fleet;
   fleet.base = tempBase("crash_once");
@@ -418,6 +434,10 @@ int fakeWorkerMain(int argc, char** argv) {
     if (!snap.saveTo(path).isOk()) return 2;
     if (cell == dropDone) std::abort();  // payload saved, D never sent
     if (hb) hb->cellDone(cell);
+    // Stream the metric delta the way a real worker's ticker would, so
+    // the supervisor's fleet rollup can be asserted on exactly.
+    oisa::obs::counter("fake.cells").add();
+    if (hb) hb->metricsFlush();
     if (completedFresh) continue;
     completedFresh = true;
     if (firstIncarnation && args.getBool("crash-after-first", false)) {
